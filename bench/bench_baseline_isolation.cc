@@ -1,0 +1,83 @@
+// E4 — Section 2.2's trivial attackers: a data-independent predicate of
+// weight w isolates with probability n*w*(1-w)^{n-1}, peaking near 1/e at
+// w = 1/n (the 365-birthdays example computes ~37%). Series: empirical
+// isolation probability vs w against the closed form, plus the birthday
+// example verbatim.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "data/generators.h"
+#include "predicate/predicate.h"
+
+namespace pso {
+namespace {
+
+int Run() {
+  bench::Banner(
+      "E4: trivial (output-blind) attackers and the 37% baseline",
+      "a weight-w predicate chosen independently of the data isolates "
+      "w.p. n w (1-w)^{n-1}: negligible for negligible w, ~37% at w=1/n, "
+      "negligible again for heavy w");
+
+  // Part 1: the paper's birthday example, exactly as stated.
+  Universe birthdays = MakeBirthdayUniverse();
+  const size_t n = 365;
+  Rng rng(2021);
+  auto apr30 = MakeAttributeEquals(0, 119, "birthday");  // day 119 ~ Apr-30
+  BernoulliEstimator birthday_iso;
+  for (int t = 0; t < 4000; ++t) {
+    Dataset x = birthdays.distribution.SampleDataset(n, rng);
+    birthday_iso.Add(Isolates(*apr30, x));
+  }
+  std::printf(
+      "Birthday example: fixed predicate 'birthday == Apr-30', n = 365\n"
+      "  empirical isolation = %.4f   closed form = %.4f   paper: ~37%%\n\n",
+      birthday_iso.rate(), BaselineIsolationProbability(n, 1.0 / 365.0));
+
+  // Part 2: the full curve over w (hash predicates of designed weight).
+  const size_t game_n = 500;
+  TextTable table({"w * n", "design w", "empirical", "closed form"});
+  double at_peak = 0.0;
+  double at_tiny = 1.0;
+  double at_heavy = 1.0;
+  Universe gic = MakeGicMedicalUniverse(100);
+  for (double wn : {0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    double w = wn / static_cast<double>(game_n);
+    BernoulliEstimator iso;
+    const int trials = 600;
+    for (int t = 0; t < trials; ++t) {
+      Dataset x = gic.distribution.SampleDataset(game_n, rng);
+      UniversalHash h(rng, static_cast<uint64_t>(std::llround(1.0 / w)));
+      auto p = MakeHashPredicate(gic.schema, h, 0);
+      iso.Add(Isolates(*p, x));
+    }
+    double closed = BaselineIsolationProbability(game_n, w);
+    table.AddRow({StrFormat("%.2f", wn), StrFormat("%.2e", w),
+                  StrFormat("%.4f", iso.rate()), StrFormat("%.4f", closed)});
+    if (wn == 1.0) at_peak = iso.rate();
+    if (wn == 0.01) at_tiny = iso.rate();
+    if (wn == 20.0) at_heavy = iso.rate();
+  }
+  table.Print();
+
+  bench::ShapeChecks checks;
+  checks.CheckBetween(birthday_iso.rate(), 0.34, 0.40,
+                      "birthday example isolates ~37%");
+  checks.CheckBetween(at_peak, 0.30, 0.44, "peak at w = 1/n is ~1/e");
+  checks.CheckBetween(at_tiny, 0.0, 0.03,
+                      "negligible weight => negligible isolation");
+  checks.CheckBetween(at_heavy, 0.0, 0.03,
+                      "heavy weight => negligible isolation");
+  checks.CheckGreater(at_peak, 10.0 * at_tiny,
+                      "peak dominates the tiny-weight regime");
+  return checks.Finish("E4");
+}
+
+}  // namespace
+}  // namespace pso
+
+int main() { return pso::Run(); }

@@ -1,0 +1,146 @@
+// E9 — the 2010 Decennial reconstruction narrative (Section 1): block
+// tables are solved back into microdata, reconstructed records are matched
+// against a commercial database, and the confirmed re-identification rate
+// dwarfs the 0.003% pre-2010 disclosure-risk estimate. The DP-protected
+// tabulation (the post-2020 posture) collapses the attack. Rows: the same
+// statistics the Bureau reported — blocks solved exactly, persons
+// reconstructed, putative and confirmed re-identifications.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "census/reidentify.h"
+#include "census/sat_reconstruct.h"
+
+namespace pso::census {
+namespace {
+
+struct PipelineOutcome {
+  ReconstructionReport recon;
+  ReidentificationReport reid;
+};
+
+PipelineOutcome RunPipeline(const Population& pop,
+                            const std::vector<BlockTables>& tables,
+                            const std::vector<CommercialEntry>& commercial,
+                            const ReconstructOptions& opts) {
+  std::vector<BlockReconstruction> per_block;
+  PipelineOutcome out;
+  out.recon = ReconstructPopulation(pop, tables, opts, &per_block);
+  out.reid = Reidentify(pop, per_block, commercial);
+  return out;
+}
+
+int Run() {
+  bench::Banner(
+      "E9: reconstruction-abetted re-identification of census tables",
+      "2010-style exact tables: most blocks solved exactly, most of the "
+      "population reconstructed, confirmed re-identification orders of "
+      "magnitude above the 0.003% prior estimate; DP tables break the "
+      "attack");
+
+  PopulationOptions popts;
+  popts.num_blocks = 150;
+  popts.min_block_size = 2;
+  popts.max_block_size = 9;
+  Rng rng(0x2010);
+  Population pop = GeneratePopulation(popts, rng);
+  std::printf("population: %zu persons in %zu blocks (size %zu..%zu)\n\n",
+              pop.total_persons, pop.blocks.size(), popts.min_block_size,
+              popts.max_block_size);
+
+  CommercialOptions copts;  // 60% coverage, 10% age errors
+  Rng crng(0xC0ffee);
+  auto commercial = SimulateCommercialDatabase(pop, copts, crng);
+
+  std::vector<BlockTables> exact;
+  exact.reserve(pop.blocks.size());
+  for (const Block& b : pop.blocks) exact.push_back(Tabulate(b));
+
+  ReconstructOptions ropts;
+  ropts.max_solutions = 64;
+  ropts.max_nodes = 500000;
+  PipelineOutcome swdb = RunPipeline(pop, exact, commercial, ropts);
+
+  TextTable table({"release", "blocks exact", "persons exact",
+                   "putative reid", "confirmed reid", "precision"});
+  auto add_row = [&](const std::string& name, const PipelineOutcome& o) {
+    table.AddRow({name,
+                  StrFormat("%.1f%%", 100.0 * o.recon.block_unique_fraction()),
+                  StrFormat("%.1f%%", 100.0 * o.recon.person_exact_fraction()),
+                  StrFormat("%.2f%%", 100.0 * o.reid.putative_rate()),
+                  StrFormat("%.2f%%", 100.0 * o.reid.confirmed_rate()),
+                  StrFormat("%.2f", o.reid.precision())});
+  };
+  add_row("exact tables (2010 SF1-style)", swdb);
+
+  std::vector<double> dp_confirmed;
+  ReconstructOptions dp_ropts;
+  dp_ropts.max_solutions = 16;
+  dp_ropts.max_nodes = 150000;
+  for (double eps : {2.0, 0.5}) {
+    Rng dprng(0xD0 + static_cast<uint64_t>(eps * 10));
+    std::vector<BlockTables> noisy;
+    noisy.reserve(pop.blocks.size());
+    for (const Block& b : pop.blocks) {
+      noisy.push_back(TabulateDp(b, eps, dprng));
+    }
+    PipelineOutcome o = RunPipeline(pop, noisy, commercial, dp_ropts);
+    add_row(StrFormat("DP tables (eps=%.1f)", eps), o);
+    dp_confirmed.push_back(o.reid.confirmed_rate());
+  }
+  table.Print();
+
+  // Solver cross-validation: the SAT back-end (DPLL + sequential-counter
+  // cardinality encodings) must agree with the CSP engine blockwise.
+  size_t sat_checked = 0;
+  size_t sat_agree = 0;
+  for (size_t b = 0; b < std::min<size_t>(pop.blocks.size(), 40); ++b) {
+    auto sat = ReconstructBlockSat(exact[b], /*max_decisions=*/500000);
+    if (!sat.ok()) continue;
+    ++sat_checked;
+    // Agreement = SAT finds a solution exactly when CSP did, and its
+    // solution satisfies the same exact tables (checked inside the test
+    // suite; here: satisfiability + size).
+    if (sat->satisfiable &&
+        sat->reconstructed.size() == pop.blocks[b].persons.size()) {
+      ++sat_agree;
+    }
+  }
+  std::printf(
+      "\nSAT back-end cross-check: %zu/%zu blocks reconstructed "
+      "consistently by the DPLL + cardinality-encoding pipeline.\n",
+      sat_agree, sat_checked);
+
+  const double prior_estimate = 0.00003;  // the 0.003% pre-2010 figure
+  std::printf(
+      "\nconfirmed re-identification vs prior risk estimate (0.003%%): "
+      "x%.0f\n",
+      swdb.reid.confirmed_rate() / prior_estimate);
+
+  bench::ShapeChecks checks;
+  checks.CheckBetween(swdb.recon.block_unique_fraction(), 0.45, 1.0,
+                      "most blocks solved exactly from exact tables");
+  checks.CheckBetween(swdb.recon.person_exact_fraction(), 0.6, 1.0,
+                      "majority of population reconstructed exactly "
+                      "(paper: 71% with age to the year)");
+  checks.CheckGreater(swdb.reid.confirmed_rate(), 100.0 * prior_estimate,
+                      "confirmed reid dwarfs the 0.003% prior (paper: "
+                      "x~4500)");
+  checks.CheckGreater(swdb.reid.precision(), 0.5,
+                      "most putative claims confirm");
+  checks.CheckGreater(swdb.reid.confirmed_rate(), 4.0 * dp_confirmed[1],
+                      "strong DP tables collapse confirmed reid");
+  checks.CheckGreater(dp_confirmed[0] + 0.02, dp_confirmed[1],
+                      "looser eps leaks at least as much as tighter eps");
+  checks.Check(sat_checked > 0 && sat_agree == sat_checked,
+               "SAT back-end agrees with the CSP engine on every checked "
+               "block");
+  return checks.Finish("E9");
+}
+
+}  // namespace
+}  // namespace pso::census
+
+int main() { return pso::census::Run(); }

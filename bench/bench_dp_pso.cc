@@ -1,0 +1,85 @@
+// E7 — Theorem 2.9: eps-differentially private mechanisms prevent
+// predicate singling out. Series: PSO success of the attacker family vs
+// eps for Laplace counts, geometric counts, and noisy histograms — all at
+// the trivial baseline — side by side with the k-anonymity mechanism the
+// same attackers demolish (E8's headline, repeated here as the contrast
+// the paper draws in Section 2.3).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "data/generators.h"
+#include "pso/adversaries.h"
+#include "pso/game.h"
+#include "pso/mechanisms.h"
+
+namespace pso {
+namespace {
+
+int Run() {
+  bench::Banner(
+      "E7: differential privacy prevents PSO (Theorem 2.9)",
+      "for constant eps, no attacker singles out under an eps-DP "
+      "mechanism; contrast with k-anonymity under the same game");
+
+  Universe u = MakeGicMedicalUniverse(100);
+  const size_t n = 400;
+  auto q = MakeAttributeEquals(3, 0, "sex");
+
+  PsoGameOptions opts;
+  opts.trials = 220;
+  opts.weight_pool = 60000;
+  PsoGame game(u.distribution, n, opts);
+
+  TextTable table({"mechanism", "adversary", "PSO rate", "baseline",
+                   "advantage"});
+  double dp_worst_advantage = -1.0;
+  for (double eps : {0.1, 0.5, 1.0, 2.0}) {
+    for (const MechanismRef& mech :
+         {MakeLaplaceCountMechanism(q, "sex=F", eps),
+          MakeGeometricCountMechanism(q, "sex=F", eps),
+          MakeNoisyHistogramMechanism(4, eps)}) {
+      for (const AdversaryRef& adv :
+           {MakeTrivialHashAdversary(1.0 / (10.0 * n)),
+            MakeCountTunedAdversary(q, "sex=F")}) {
+        auto r = game.Run(*mech, *adv);
+        table.AddRow({r.mechanism, r.adversary,
+                      StrFormat("%.4f", r.pso_success.rate()),
+                      StrFormat("%.4f", r.baseline),
+                      StrFormat("%+.4f", r.advantage)});
+        if (r.advantage > dp_worst_advantage) {
+          dp_worst_advantage = r.advantage;
+        }
+      }
+    }
+  }
+
+  // Contrast: the k-anonymity mechanism under the same game and budget.
+  auto kanon_mech = MakeKAnonymityMechanism(
+      KAnonAlgorithm::kMondrian, 5, kanon::HierarchySet::Defaults(u.schema),
+      /*qi_attrs=*/{});
+  auto kanon_result = game.Run(*kanon_mech, *MakeKAnonMinimalityAdversary());
+  table.AddRow({kanon_result.mechanism, kanon_result.adversary,
+                StrFormat("%.4f", kanon_result.pso_success.rate()),
+                StrFormat("%.4f", kanon_result.baseline),
+                StrFormat("%+.4f", kanon_result.advantage)});
+  table.Print();
+
+  std::printf(
+      "\nNote (Section 2.3.3): the exact count M#q is NOT differentially "
+      "private yet also prevents PSO (E5) — DP is sufficient, not "
+      "necessary.\n");
+
+  bench::ShapeChecks checks;
+  checks.CheckBetween(dp_worst_advantage, -1.0, 0.05,
+                      "no attacker gains advantage against any DP release");
+  checks.CheckGreater(kanon_result.advantage, 0.5,
+                      "same game, k-anonymity falls (the paper's contrast)");
+  return checks.Finish("E7");
+}
+
+}  // namespace
+}  // namespace pso
+
+int main() { return pso::Run(); }

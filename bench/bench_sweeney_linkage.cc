@@ -1,0 +1,118 @@
+// E10 — Sweeney's GIC re-identification (Section 1): ZIP x birth date x
+// sex is unique for the vast majority; joining a "de-identified" medical
+// release with a voter file re-attaches names. k-anonymizing the release
+// stops this particular attack (which is exactly what it was designed
+// for — and all it guarantees, per Theorem 2.10). Also the
+// Narayanan–Shmatikov variant: a few known ratings identify a subscriber.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "data/generators.h"
+#include "kanon/datafly.h"
+#include "linkage/join_attack.h"
+#include "linkage/uniqueness.h"
+
+namespace pso::linkage {
+namespace {
+
+int Run() {
+  bench::Banner(
+      "E10: quasi-identifier uniqueness and the GIC linkage attack",
+      "ZIP x birth date x sex uniquely identifies the vast majority; "
+      "linkage with an identified public file re-identifies de-identified "
+      "medical records");
+
+  Universe u = MakeGicMedicalUniverse(200);
+  Rng rng(0x6C1);
+  IdentifiedPopulation pop = SamplePopulation(u, 30000, rng);
+
+  // Part 1: uniqueness by quasi-identifier set.
+  TextTable uniq_table({"quasi-identifier set", "unique", "groups"});
+  struct QiSet {
+    std::string name;
+    std::vector<size_t> attrs;
+  };
+  std::vector<QiSet> qi_sets = {
+      {"zip", {0}},
+      {"zip+sex", {0, 3}},
+      {"zip+birth_year+sex", {0, 1, 3}},
+      {"zip+full_birth_date+sex", {0, 1, 2, 3}},
+  };
+  double full_unique = 0.0;
+  double zip_unique = 0.0;
+  for (const QiSet& qi : qi_sets) {
+    UniquenessReport r = AnalyzeUniqueness(pop.records, qi.attrs);
+    uniq_table.AddRow({qi.name,
+                       StrFormat("%.1f%%", 100.0 * r.unique_fraction()),
+                       StrFormat("%zu", r.groups)});
+    if (qi.attrs.size() == 4) full_unique = r.unique_fraction();
+    if (qi.attrs.size() == 1) zip_unique = r.unique_fraction();
+  }
+  uniq_table.Print();
+
+  // Part 2: the join attack, raw vs k-anonymized release.
+  std::vector<size_t> qi = {0, 1, 2, 3};
+  auto voters = BuildVoterFile(pop, qi, /*coverage=*/0.75, rng);
+  LinkageReport raw = JoinAttack(pop, voters, qi);
+
+  kanon::HierarchySet hs = kanon::HierarchySet::Defaults(u.schema);
+  kanon::DataflyOptions dopts;
+  dopts.k = 5;
+  dopts.qi_attrs = qi;
+  dopts.max_suppression = 0.05;
+  auto anon = kanon::DataflyAnonymize(pop.records, hs, dopts);
+  LinkageReport gen;
+  if (anon.ok()) {
+    gen = JoinAttackGeneralized(pop, anon->generalized, voters, qi);
+  }
+
+  std::printf("\njoin attack (voter coverage 75%%):\n");
+  TextTable join_table({"release", "claims", "confirmed", "claim rate",
+                        "confirmed rate"});
+  join_table.AddRow({"de-identified (raw QI kept)",
+                     StrFormat("%zu", raw.claims),
+                     StrFormat("%zu", raw.confirmed),
+                     StrFormat("%.1f%%", 100.0 * raw.claim_rate()),
+                     StrFormat("%.1f%%", 100.0 * raw.confirmed_rate())});
+  join_table.AddRow({"5-anonymous (Datafly)", StrFormat("%zu", gen.claims),
+                     StrFormat("%zu", gen.confirmed),
+                     StrFormat("%.1f%%", 100.0 * gen.claim_rate()),
+                     StrFormat("%.1f%%", 100.0 * gen.confirmed_rate())});
+  join_table.Print();
+
+  // Part 3: Narayanan–Shmatikov sparse-data variant.
+  Universe ratings = MakeRatingsUniverse(64, 0.08);
+  Rng rrng(0x4e5);
+  Dataset subs = ratings.distribution.SampleDataset(8000, rrng);
+  std::printf("\nNetflix-style: P[unique] given j known rated movies "
+              "(8000 subscribers, 64 movies):\n");
+  TextTable nflx({"known movies j", "P[target unique]"});
+  double know8 = 0.0;
+  for (size_t j : {1, 2, 4, 8}) {
+    double p = PartialKnowledgeUniqueness(subs, j, 400, rrng);
+    nflx.AddRow({StrFormat("%zu", j), StrFormat("%.3f", p)});
+    if (j == 8) know8 = p;
+  }
+  nflx.Print();
+
+  bench::ShapeChecks checks;
+  checks.CheckBetween(full_unique, 0.85, 1.0,
+                      "ZIP x birth date x sex unique for the vast majority "
+                      "(Sweeney)");
+  checks.CheckGreater(full_unique, zip_unique + 0.5,
+                      "uniqueness explodes as QIs accumulate");
+  checks.CheckGreater(raw.confirmed_rate(), 0.4,
+                      "raw de-identified release is re-identified at scale");
+  checks.CheckBetween(gen.claim_rate(), 0.0, 0.02,
+                      "5-anonymity blocks the unique-join attack");
+  checks.CheckGreater(know8, 0.6,
+                      "a few known ratings identify a subscriber (N-S)");
+  return checks.Finish("E10");
+}
+
+}  // namespace
+}  // namespace pso::linkage
+
+int main() { return pso::linkage::Run(); }

@@ -1,0 +1,69 @@
+// Shared helpers for the experiment harnesses (bench_*).
+//
+// Each harness regenerates one experiment from DESIGN.md's index: it
+// prints the series/rows the paper's claim corresponds to and then runs
+// "shape checks" — assertions about who wins, by what rough factor, and
+// where crossovers fall. Absolute numbers differ from the paper (our
+// substrate is a simulator); shapes must hold.
+
+#ifndef PSO_BENCH_BENCH_UTIL_H_
+#define PSO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace pso::bench {
+
+/// Collects named pass/fail assertions and renders a summary. The process
+/// exits nonzero if any shape check failed, so CI catches regressions.
+class ShapeChecks {
+ public:
+  /// Records one check.
+  void Check(bool ok, const std::string& description) {
+    results_.emplace_back(ok, description);
+    if (!ok) ++failures_;
+  }
+
+  /// Convenience: value within [lo, hi].
+  void CheckBetween(double value, double lo, double hi,
+                    const std::string& what) {
+    Check(value >= lo && value <= hi,
+          StrFormat("%s = %.4f in [%.4f, %.4f]", what.c_str(), value, lo,
+                    hi));
+  }
+
+  /// Convenience: a > b (who wins).
+  void CheckGreater(double a, double b, const std::string& what) {
+    Check(a > b, StrFormat("%s (%.4f > %.4f)", what.c_str(), a, b));
+  }
+
+  /// Prints the verdicts; returns the exit code (0 iff all passed).
+  int Finish(const std::string& experiment) const {
+    std::printf("\n-- shape checks: %s --\n", experiment.c_str());
+    for (const auto& [ok, what] : results_) {
+      std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    }
+    std::printf("%s: %zu/%zu shape checks passed\n", experiment.c_str(),
+                results_.size() - failures_, results_.size());
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  std::vector<std::pair<bool, std::string>> results_;
+  size_t failures_ = 0;
+};
+
+/// Prints the standard experiment banner.
+inline void Banner(const std::string& id, const std::string& claim) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace pso::bench
+
+#endif  // PSO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,89 @@
+// The Census story of Section 1, end to end on one small county:
+// tabulate blocks SF1-style, reconstruct the microdata from the tables
+// with the CSP solver, link against a simulated commercial database, and
+// watch the DP-protected tabulation shut the attack down.
+//
+// Build & run:  ./build/examples/census_reconstruction
+
+#include <cstdio>
+
+#include "census/reidentify.h"
+#include "common/str_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace pso;
+  using namespace pso::census;
+
+  PopulationOptions popts;
+  popts.num_blocks = 40;
+  popts.min_block_size = 2;
+  popts.max_block_size = 8;
+  Rng rng(1940);
+  Population county = GeneratePopulation(popts, rng);
+  std::printf("Synthetic county: %zu persons in %zu blocks.\n\n",
+              county.total_persons, county.blocks.size());
+
+  // Show one block's ground truth and its published tables.
+  const Block& block = county.blocks.front();
+  std::printf("Block %zu ground truth (%zu persons):\n%s\n", block.id,
+              block.persons.size(), block.persons.ToString().c_str());
+  BlockTables tables = Tabulate(block);
+  std::printf("Published (exact) tables for block %zu: total=%lld, "
+              "median age=%lld, plus single-year-of-age, sex x age, race, "
+              "and Hispanic-origin counts.\n\n",
+              block.id, (long long)tables.total,
+              (long long)tables.median_age.value_or(-1));
+
+  // Reconstruct that block.
+  BlockReconstruction r = ReconstructBlock(tables, block.persons);
+  std::printf("Reconstruction of block %zu: %zu solution(s)%s, %zu/%zu "
+              "records exactly recovered.\n",
+              block.id, r.solutions_found, r.unique ? " (unique!)" : "",
+              r.exact_matches, block.persons.size());
+  if (!r.reconstructed.empty()) {
+    std::printf("First reconstructed solution:\n");
+    for (const Record& rec : r.reconstructed) {
+      std::printf("  %s\n",
+                  county.universe.schema.RecordToString(rec).c_str());
+    }
+  }
+
+  // Full county, exact vs DP tables.
+  std::vector<BlockTables> exact;
+  std::vector<BlockTables> noisy;
+  Rng dprng(2020);
+  for (const Block& b : county.blocks) {
+    exact.push_back(Tabulate(b));
+    noisy.push_back(TabulateDp(b, /*eps=*/0.5, dprng));
+  }
+  std::vector<BlockReconstruction> per_block;
+  ReconstructionReport exact_report =
+      ReconstructPopulation(county, exact, {}, &per_block);
+  ReconstructOptions dp_opts;
+  dp_opts.max_solutions = 16;
+  dp_opts.max_nodes = 150000;
+  ReconstructionReport dp_report =
+      ReconstructPopulation(county, noisy, dp_opts);
+
+  CommercialOptions copts;
+  Rng crng(77);
+  auto commercial = SimulateCommercialDatabase(county, copts, crng);
+  ReidentificationReport reid = Reidentify(county, per_block, commercial);
+
+  TextTable summary({"metric", "exact tables", "DP tables (eps=0.5)"});
+  summary.AddRow({"blocks solved exactly",
+                  StrFormat("%.0f%%", 100.0 * exact_report.block_unique_fraction()),
+                  StrFormat("%.0f%%", 100.0 * dp_report.block_unique_fraction())});
+  summary.AddRow({"persons reconstructed exactly",
+                  StrFormat("%.0f%%", 100.0 * exact_report.person_exact_fraction()),
+                  StrFormat("%.0f%%", 100.0 * dp_report.person_exact_fraction())});
+  summary.AddRow({"confirmed re-identification",
+                  StrFormat("%.1f%%", 100.0 * reid.confirmed_rate()), "-"});
+  std::printf("\n%s", summary.Render().c_str());
+  std::printf(
+      "\nTitle 13 forbids publications 'whereby the data furnished by any "
+      "particular ... individual ... can be identified' — the exact-table "
+      "column shows why the 2020 Census moved to differential privacy.\n");
+  return 0;
+}

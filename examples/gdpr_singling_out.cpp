@@ -1,0 +1,84 @@
+// A guided tour of Section 2: from the GDPR's text to predicate singling
+// out, step by step —
+//   (1) isolation (Definition 2.1) and why trivial attackers force the
+//       weight condition (the birthday example),
+//   (2) a mechanism that prevents PSO: the count mechanism (Theorem 2.5),
+//   (3) why security does not compose: ~log n counts isolate (Theorem 2.8),
+//   (4) what does hold up: a differentially private count (Theorem 2.9).
+//
+// Build & run:  ./build/examples/gdpr_singling_out
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "data/generators.h"
+#include "pso/adversaries.h"
+#include "pso/composition_attack.h"
+#include "pso/game.h"
+#include "pso/mechanisms.h"
+
+int main() {
+  using namespace pso;
+
+  std::printf(
+      "GDPR Recital 26: to determine identifiability, 'account should be "
+      "taken of all the means reasonably likely to be used, such as "
+      "singling out'.\nArticle 29 WP: singling out = 'the possibility to "
+      "isolate some or all records which identify an individual'.\n\n");
+
+  // ---- (1) Isolation and the trivial attacker ----
+  Universe birthdays = MakeBirthdayUniverse();
+  Rng rng(29);
+  BernoulliEstimator trivial;
+  auto apr30 = MakeAttributeEquals(0, 119, "birthday");
+  for (int t = 0; t < 2000; ++t) {
+    Dataset x = birthdays.distribution.SampleDataset(365, rng);
+    trivial.Add(Isolates(*apr30, x));
+  }
+  std::printf(
+      "(1) 365 random birthdays; the fixed predicate 'birthday == Apr-30' "
+      "isolates %.1f%% of the time without looking at any output.\n"
+      "    => plain 'no isolation' (Definition 2.3) is unachievable; the "
+      "definition must discount predicates of non-negligible weight "
+      "(Definition 2.4).\n\n",
+      100.0 * trivial.rate());
+
+  // ---- (2) The count mechanism prevents PSO ----
+  Universe gic = MakeGicMedicalUniverse();
+  const size_t n = 400;
+  auto q = MakeAttributeEquals(3, 0, "sex");
+  PsoGameOptions opts;
+  opts.trials = 120;
+  PsoGame game(gic.distribution, n, opts);
+  auto count_result = game.Run(*MakeCountMechanism(q, "sex=F"),
+                               *MakeCountTunedAdversary(q, "sex=F"));
+  std::printf(
+      "(2) Theorem 2.5 — the exact count M#q:\n    %s\n"
+      "    No advantage over the baseline: the count prevents PSO.\n\n",
+      count_result.Summary().c_str());
+
+  // ---- (3) Composition breaks it ----
+  auto composed = RunCompositionGame(gic.distribution, n, 40,
+                                     /*adaptive=*/true,
+                                     /*weight_threshold=*/1.0 / (10.0 * n),
+                                     /*max_queries=*/200, /*seed=*/31);
+  std::printf(
+      "(3) Theorem 2.8 — composing count mechanisms: %.0f%% PSO success "
+      "using %.1f count queries on average (baseline %.1f%%).\n"
+      "    'Count queries can be used to learn sufficiently many bits of "
+      "a single record so as to isolate it.'\n\n",
+      100.0 * composed.pso_success.rate(), composed.queries_used.mean(),
+      100.0 * composed.baseline);
+
+  // ---- (4) Differential privacy holds ----
+  auto dp_result =
+      game.Run(*MakeLaplaceCountMechanism(q, "sex=F", /*eps=*/1.0),
+               *MakeTrivialHashAdversary(1.0 / (10.0 * n)));
+  std::printf(
+      "(4) Theorem 2.9 — the eps=1 Laplace count:\n    %s\n"
+      "    DP prevents predicate singling out; whether it meets the full "
+      "GDPR anonymization standard 'needs further analysis' (Section "
+      "2.4.1).\n",
+      dp_result.Summary().c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// An analyst session, watched by the privacy accountant — and then the
+// same interface driven by an attacker.
+//
+// Part 1 plays the honest analyst: a handful of useful count queries
+// against exact and Laplace sessions, with the accountant's running
+// (eps, delta) ledger alongside.
+// Part 2 hands the very same session interface to the Theorem 2.8
+// binary-search attacker: exact answers surrender a record after ~15
+// queries; the noisy session never does.
+//
+// Build & run:  ./build/examples/interactive_analyst
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/generators.h"
+#include "pso/game.h"
+#include "pso/interactive.h"
+
+int main() {
+  using namespace pso;
+
+  Universe u = MakeGicMedicalUniverse();
+  Rng rng(1789);
+  const size_t n = 500;
+  Dataset x = u.distribution.SampleDataset(n, rng);
+
+  // ---- Part 1: the honest analyst ----
+  struct Query {
+    const char* label;
+    PredicateRef pred;
+  };
+  std::vector<Query> workload = {
+      {"patients with sex = F", MakeAttributeEquals(3, 0, "sex")},
+      {"born 1960 or later", MakeAttributeRange(1, 1960, 2004, "birth_year")},
+      {"diagnosis ICD00", MakeAttributeEquals(4, 0, "diagnosis")},
+      {"admitted in winter (Dec-Feb)",
+       MakeAttributeIn(7, {12, 1, 2}, "admission_month")},
+  };
+
+  auto exact_mech = MakeExactCountSessionMechanism();
+  auto noisy_mech = MakeLaplaceCountSessionMechanism(/*eps_per_query=*/0.25);
+  auto exact = exact_mech->StartSession(x, rng);
+  auto noisy = noisy_mech->StartSession(x, rng);
+
+  std::printf("Honest analyst, n = %zu:\n", n);
+  std::printf("  %-32s %8s %10s %18s\n", "query", "exact", "eps=0.25",
+              "accountant (eps)");
+  for (const Query& q : workload) {
+    double e = exact->AnswerCount(*q.pred);
+    double v = noisy->AnswerCount(*q.pred);
+    std::printf("  %-32s %8.0f %10.1f %18.2f\n", q.label, e, v,
+                noisy->PrivacySpent().eps);
+  }
+  std::printf(
+      "\nThe noisy answers are a little off; the accountant knows exactly "
+      "how much total privacy the session has spent. The exact session "
+      "has spent: infinity.\n\n");
+
+  // ---- Part 2: the attacker at the same counter ----
+  PsoGameOptions opts;
+  opts.trials = 50;
+  PsoGame game(u.distribution, n, opts);
+  auto attacker = MakeBinarySearchIsolationAdversary(200);
+
+  auto broken = game.RunInteractive(*exact_mech, *attacker);
+  auto safe = game.RunInteractive(*noisy_mech, *attacker);
+  std::printf("The same interface, driven by the Theorem 2.8 attacker:\n");
+  std::printf("  %s\n", broken.Summary().c_str());
+  std::printf("  %s\n", safe.Summary().c_str());
+  std::printf(
+      "\n'Overly accurate answers to too many questions will destroy "
+      "privacy in a spectacular way' — and calibrated noise is what "
+      "prevents it.\n");
+  return 0;
+}

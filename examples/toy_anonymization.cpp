@@ -1,0 +1,104 @@
+// The paper's Section 1.1 toy example (E14): a four-record medical table
+// and a 2-anonymized version of it, reproduced with libpso's hierarchies
+// and the Datafly anonymizer — followed by exactly the equivalence-class
+// predicate the paper builds from the PULM class in Section 2.3.4.
+//
+// Build & run:  ./build/examples/toy_anonymization
+
+#include <cstdio>
+
+#include "kanon/attacks.h"
+#include "kanon/datafly.h"
+#include "predicate/predicate.h"
+
+int main() {
+  using namespace pso;
+  using namespace pso::kanon;
+
+  // The table from Section 1.1 (disease codes laid out so that the
+  // pulmonary group {CF, Asthma} is contiguous for the taxonomy level).
+  Schema schema({
+      Attribute::Integer("zip", 10000, 29999),
+      Attribute::Integer("age", 0, 99),
+      Attribute::Categorical("sex", {"F", "M"}),
+      Attribute::Categorical("disease", {"COVID", "FLU", "CF", "Asthma"}),
+  });
+  Dataset data(schema, {
+                           {23456, 55, 0, 0},  // 23456, 55, F, COVID
+                           {23456, 42, 0, 0},  // 23456, 42, F, COVID
+                           {12345, 30, 1, 2},  // 12345, 30, M, CF
+                           {12346, 33, 0, 3},  // 12346, 33, F, Asthma
+                       });
+
+  std::printf("Original dataset x (Section 1.1, left table):\n%s\n",
+              data.ToString().c_str());
+
+  // Disease taxonomy: {COVID, FLU} -> VIRAL, {CF, Asthma} -> PULM.
+  ValueHierarchy disease =
+      ValueHierarchy::Intervals(schema.attribute(3), {1, 2});
+  disease.SetLevelLabels(1, {"VIRAL", "PULM"});
+
+  HierarchySet hierarchies(
+      schema,
+      {
+          // ZIP: drop trailing digits one at a time (hierarchical
+          // generalization, footnote 4).
+          ValueHierarchy::Intervals(schema.attribute(0), {1, 10, 100, 1000}),
+          // Age: decades, then 50-year bands, then "*".
+          ValueHierarchy::Intervals(schema.attribute(1), {1, 10, 50}),
+          // Sex: keep or suppress.
+          ValueHierarchy::IdentityOrSuppress(schema.attribute(2)),
+          std::move(disease),
+      });
+
+  // The paper's right-hand table uses LOCAL recoding (each class picks its
+  // own generalization levels): the COVID pair keeps its exact ZIP and
+  // suppresses age; the PULM pair keeps a ZIP prefix and an age decade and
+  // suppresses sex. Build it by hand and let the library verify it.
+  GeneralizedDataset paper_table{hierarchies};
+  paper_table.Append({{23456, 23456}, {0, 99}, {0, 0}, {0, 0}});
+  paper_table.Append({{23456, 23456}, {0, 99}, {0, 0}, {0, 0}});
+  paper_table.Append({{12340, 12349}, {30, 39}, {0, 1}, {2, 3}});
+  paper_table.Append({{12340, 12349}, {30, 39}, {0, 1}, {2, 3}});
+  std::printf("The paper's 2-anonymized x' (Section 1.1, right table):\n%s\n",
+              paper_table.ToString().c_str());
+  std::printf("  2-anonymous: %s;  covers the original records: %s\n\n",
+              IsKAnonymous(paper_table, 2) ? "yes" : "NO",
+              (paper_table.Covers(0, data.record(0)) &&
+               paper_table.Covers(1, data.record(1)) &&
+               paper_table.Covers(2, data.record(2)) &&
+               paper_table.Covers(3, data.record(3)))
+                  ? "yes"
+                  : "NO");
+
+  // A global-recoding anonymizer (Datafly) reaches 2-anonymity too, but
+  // must apply one level schedule to every row — coarser than the paper's
+  // locally-recoded table.
+  DataflyOptions options;
+  options.k = 2;
+  options.qi_attrs = {0, 1, 2, 3};
+  options.max_suppression = 0.0;
+  auto result = DataflyAnonymize(data, hierarchies, options);
+  if (!result.ok()) {
+    std::printf("anonymization failed: %s\n",
+                result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Datafly's (global-recoding) 2-anonymization of the same "
+              "data:\n%s\n",
+              result->generalized.ToString().c_str());
+
+  // Section 2.3.4: the predicate of the PULM equivalence class — evaluates
+  // to 1 on a record iff zip in 1234*, age in 30-39 band, disease in PULM.
+  for (size_t c = 0; c < result->classes.size(); ++c) {
+    PredicateRef p = EquivalenceClassPredicate(*result, c);
+    std::printf("class %zu (%zu records): %s\n", c,
+                result->classes[c].size(), p->Description().c_str());
+    std::printf("  matches in x: %zu\n", CountMatches(*p, data));
+  }
+  std::printf(
+      "\nThe paper's point: these class predicates are exactly the "
+      "footholds the Theorem 2.10 attack refines into negligible-weight "
+      "isolating predicates.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "census/population.h"
+
+#include "common/check.h"
+
+namespace pso::census {
+
+Universe MakeCensusBlockUniverse() {
+  Universe base = MakeCensusPersonUniverse();
+  // Rebuild with age capped at kMaxAge (keeps the CSP domain compact).
+  Schema schema({
+      Attribute::Integer("age", 0, kMaxAge),
+      base.schema.attribute(kSex),
+      base.schema.attribute(kRace),
+      base.schema.attribute(kHispanic),
+  });
+  std::vector<double> age_weights(static_cast<size_t>(kMaxAge) + 1);
+  for (int64_t a = 0; a <= kMaxAge; ++a) {
+    age_weights[static_cast<size_t>(a)] =
+        base.distribution.marginal(kAge).Probability(a);
+  }
+  std::vector<Marginal> marginals;
+  marginals.push_back(Marginal(0, std::move(age_weights)));
+  marginals.push_back(base.distribution.marginal(kSex));
+  marginals.push_back(base.distribution.marginal(kRace));
+  marginals.push_back(base.distribution.marginal(kHispanic));
+  return {schema, ProductDistribution(schema, std::move(marginals))};
+}
+
+Population GeneratePopulation(const PopulationOptions& options, Rng& rng) {
+  PSO_CHECK(options.num_blocks > 0);
+  PSO_CHECK(options.min_block_size >= 1);
+  PSO_CHECK(options.min_block_size <= options.max_block_size);
+
+  Population pop{MakeCensusBlockUniverse(), {}, 0};
+  uint64_t next_person_id = 1;
+  pop.blocks.reserve(options.num_blocks);
+  for (size_t b = 0; b < options.num_blocks; ++b) {
+    size_t size = options.min_block_size +
+                  static_cast<size_t>(rng.UniformUint64(
+                      options.max_block_size - options.min_block_size + 1));
+    std::vector<uint64_t> ids;
+    ids.reserve(size);
+    for (size_t i = 0; i < size; ++i) ids.push_back(next_person_id++);
+    Block block{b, pop.universe.distribution.SampleDataset(size, rng),
+                std::move(ids)};
+    pop.total_persons += size;
+    pop.blocks.push_back(std::move(block));
+  }
+  return pop;
+}
+
+size_t EncodePerson(const Record& r) {
+  PSO_CHECK(r.size() == 4);
+  PSO_CHECK(r[kAge] >= 0 && r[kAge] <= kMaxAge);
+  size_t idx = static_cast<size_t>(r[kAge]);
+  idx = idx * 2 + static_cast<size_t>(r[kSex]);
+  idx = idx * 6 + static_cast<size_t>(r[kRace]);
+  idx = idx * 2 + static_cast<size_t>(r[kHispanic]);
+  return idx;
+}
+
+Record DecodePerson(size_t index) {
+  PSO_CHECK(index < kPersonDomain);
+  Record r(4);
+  r[kHispanic] = static_cast<int64_t>(index % 2);
+  index /= 2;
+  r[kRace] = static_cast<int64_t>(index % 6);
+  index /= 6;
+  r[kSex] = static_cast<int64_t>(index % 2);
+  index /= 2;
+  r[kAge] = static_cast<int64_t>(index);
+  return r;
+}
+
+}  // namespace pso::census

@@ -1,0 +1,73 @@
+// Synthetic block-level population for the Census reconstruction
+// experiment (Section 1's 2010 Decennial narrative).
+//
+// Substitution note (DESIGN.md): the real experiment ran on the 2010
+// Census edited file; we generate a population with census-shaped
+// marginals, organized into small geographic blocks like the real
+// tabulation geography. Block sizes follow the small-block regime where
+// the published reconstruction was most effective.
+
+#ifndef PSO_CENSUS_POPULATION_H_
+#define PSO_CENSUS_POPULATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+
+namespace pso::census {
+
+/// Attribute order of the census person schema.
+enum PersonAttr : size_t {
+  kAge = 0,
+  kSex = 1,
+  kRace = 2,
+  kHispanic = 3,
+};
+
+/// Maximum age modeled (the CSP domain is (kMaxAge+1) * 2 * 6 * 2).
+constexpr int64_t kMaxAge = 99;
+
+/// The person schema used by the census pipeline (age capped at kMaxAge).
+Universe MakeCensusBlockUniverse();
+
+/// One tabulation block.
+struct Block {
+  size_t id = 0;
+  Dataset persons;
+  /// Stable synthetic person identifiers, parallel to `persons` rows
+  /// (ground truth for scoring re-identification).
+  std::vector<uint64_t> person_ids;
+};
+
+/// A collection of blocks plus the generating universe.
+struct Population {
+  Universe universe;
+  std::vector<Block> blocks;
+  size_t total_persons = 0;
+};
+
+/// Options for population generation.
+struct PopulationOptions {
+  size_t num_blocks = 100;
+  size_t min_block_size = 2;
+  size_t max_block_size = 12;
+};
+
+/// Draws a population: block sizes uniform in [min, max], persons i.i.d.
+/// from the census universe.
+Population GeneratePopulation(const PopulationOptions& options, Rng& rng);
+
+/// Encodes a person record as a CSP domain index and back.
+size_t EncodePerson(const Record& r);
+Record DecodePerson(size_t index);
+
+/// Size of the person-combination domain.
+constexpr size_t kPersonDomain =
+    static_cast<size_t>(kMaxAge + 1) * 2 * 6 * 2;
+
+}  // namespace pso::census
+
+#endif  // PSO_CENSUS_POPULATION_H_

@@ -1,0 +1,206 @@
+#include "census/reconstruct.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/check.h"
+
+namespace pso::census {
+
+namespace {
+
+// Adds "count of persons matching `match` lies in [c - slack, c + slack]"
+// (clamped at 0).
+void AddTableConstraint(CountCsp& csp, std::vector<bool> match, int64_t c,
+                        int64_t slack) {
+  int64_t lo = std::max<int64_t>(0, c - slack);
+  int64_t hi = c + slack;
+  csp.AddCountConstraint(std::move(match), lo, hi);
+}
+
+std::vector<bool> MaskWhere(
+    const std::function<bool(const Record&)>& pred) {
+  std::vector<bool> mask(kPersonDomain, false);
+  for (size_t v = 0; v < kPersonDomain; ++v) {
+    mask[v] = pred(DecodePerson(v));
+  }
+  return mask;
+}
+
+}  // namespace
+
+BlockReconstruction ReconstructBlock(const BlockTables& tables,
+                                     const Dataset& truth,
+                                     const ReconstructOptions& options) {
+  BlockReconstruction out;
+  out.block_id = tables.block_id;
+  const size_t n = static_cast<size_t>(tables.total);
+  out.block_size = truth.size();
+
+  if (n == 0) {
+    out.unique = truth.size() == 0;
+    out.solutions_found = 1;
+    return out;
+  }
+
+  CountCsp csp(n, kPersonDomain);
+  const int64_t slack = tables.noise_slack;
+
+  // Single year of age.
+  for (int64_t age = 0; age <= kMaxAge; ++age) {
+    AddTableConstraint(
+        csp, MaskWhere([age](const Record& r) { return r[kAge] == age; }),
+        tables.by_age[static_cast<size_t>(age)], slack);
+  }
+  // Sex by age bucket.
+  for (int64_t sex = 0; sex < 2; ++sex) {
+    for (size_t bucket = 0; bucket < kAgeBuckets; ++bucket) {
+      AddTableConstraint(
+          csp,
+          MaskWhere([sex, bucket](const Record& r) {
+            return r[kSex] == sex &&
+                   static_cast<size_t>(r[kAge]) / 5 == bucket;
+          }),
+          tables.by_sex_age_bucket[static_cast<size_t>(sex) * kAgeBuckets +
+                                   bucket],
+          slack);
+    }
+  }
+  // Sex by age bucket iterated by race (P12A-I).
+  for (int64_t race = 0; race < 6; ++race) {
+    for (int64_t sex = 0; sex < 2; ++sex) {
+      for (size_t bucket = 0; bucket < kAgeBuckets; ++bucket) {
+        AddTableConstraint(
+            csp,
+            MaskWhere([race, sex, bucket](const Record& r) {
+              return r[kRace] == race && r[kSex] == sex &&
+                     static_cast<size_t>(r[kAge]) / 5 == bucket;
+            }),
+            tables.by_race_sex_age_bucket
+                [(static_cast<size_t>(race) * 2 + static_cast<size_t>(sex)) *
+                     kAgeBuckets +
+                 bucket],
+            slack);
+      }
+    }
+  }
+  // Sex by age bucket iterated by Hispanic origin (P12H-style).
+  for (int64_t hisp = 0; hisp < 2; ++hisp) {
+    for (int64_t sex = 0; sex < 2; ++sex) {
+      for (size_t bucket = 0; bucket < kAgeBuckets; ++bucket) {
+        AddTableConstraint(
+            csp,
+            MaskWhere([hisp, sex, bucket](const Record& r) {
+              return r[kHispanic] == hisp && r[kSex] == sex &&
+                     static_cast<size_t>(r[kAge]) / 5 == bucket;
+            }),
+            tables.by_hispanic_sex_age_bucket
+                [(static_cast<size_t>(hisp) * 2 + static_cast<size_t>(sex)) *
+                     kAgeBuckets +
+                 bucket],
+            slack);
+      }
+    }
+  }
+  // Race.
+  for (int64_t race = 0; race < 6; ++race) {
+    AddTableConstraint(
+        csp, MaskWhere([race](const Record& r) { return r[kRace] == race; }),
+        tables.by_race[static_cast<size_t>(race)], slack);
+  }
+  // Hispanic origin.
+  for (int64_t h = 0; h < 2; ++h) {
+    AddTableConstraint(
+        csp, MaskWhere([h](const Record& r) { return r[kHispanic] == h; }),
+        tables.by_hispanic[static_cast<size_t>(h)], slack);
+  }
+  // Median age: at least ceil(n/2) persons at or below it, and at least
+  // floor(n/2)+1 at or above it (lower median). A noisy (DP) median only
+  // supports the widened version of these bounds.
+  if (tables.median_age.has_value()) {
+    int64_t m = *tables.median_age;
+    int64_t at_most =
+        std::max<int64_t>(0, static_cast<int64_t>((n + 1) / 2) - slack);
+    csp.AddCountConstraint(
+        MaskWhere([m](const Record& r) { return r[kAge] <= m; }), at_most,
+        static_cast<int64_t>(n));
+    int64_t at_least =
+        std::max<int64_t>(0, static_cast<int64_t>(n / 2 + 1) - slack);
+    csp.AddCountConstraint(
+        MaskWhere([m](const Record& r) { return r[kAge] >= m; }), at_least,
+        static_cast<int64_t>(n));
+  }
+
+  CspStats stats;
+  std::vector<std::vector<size_t>> solutions =
+      csp.Enumerate(options.max_solutions, options.max_nodes, &stats);
+  out.solutions_found = solutions.size();
+  out.exhausted = stats.complete;
+  out.unique = stats.complete && solutions.size() == 1;
+
+  if (!solutions.empty()) {
+    out.reconstructed.reserve(solutions.front().size());
+    for (size_t v : solutions.front()) {
+      out.reconstructed.push_back(DecodePerson(v));
+    }
+    // Multiset intersection with ground truth.
+    std::map<Record, int64_t> truth_counts;
+    for (const Record& r : truth.records()) ++truth_counts[r];
+    for (const Record& r : out.reconstructed) {
+      auto it = truth_counts.find(r);
+      if (it != truth_counts.end() && it->second > 0) {
+        --it->second;
+        ++out.exact_matches;
+      }
+    }
+    // Truth containment: encode truth as a sorted value multiset and look
+    // for it among the solutions.
+    std::vector<size_t> truth_encoded;
+    truth_encoded.reserve(truth.size());
+    for (const Record& r : truth.records()) {
+      truth_encoded.push_back(EncodePerson(r));
+    }
+    std::sort(truth_encoded.begin(), truth_encoded.end());
+    for (const auto& sol : solutions) {
+      if (sol == truth_encoded) {
+        out.truth_found = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double ReconstructionReport::block_unique_fraction() const {
+  return blocks == 0 ? 0.0
+                     : static_cast<double>(blocks_unique) /
+                           static_cast<double>(blocks);
+}
+
+double ReconstructionReport::person_exact_fraction() const {
+  return persons == 0 ? 0.0
+                      : static_cast<double>(persons_exactly_reconstructed) /
+                            static_cast<double>(persons);
+}
+
+ReconstructionReport ReconstructPopulation(
+    const Population& population, const std::vector<BlockTables>& tables,
+    const ReconstructOptions& options,
+    std::vector<BlockReconstruction>* per_block) {
+  PSO_CHECK(tables.size() == population.blocks.size());
+  ReconstructionReport report;
+  for (size_t b = 0; b < population.blocks.size(); ++b) {
+    BlockReconstruction r =
+        ReconstructBlock(tables[b], population.blocks[b].persons, options);
+    report.blocks += 1;
+    report.blocks_unique += r.unique ? 1 : 0;
+    report.blocks_exhausted += r.exhausted ? 1 : 0;
+    report.persons += population.blocks[b].persons.size();
+    report.persons_exactly_reconstructed += r.exact_matches;
+    if (per_block != nullptr) per_block->push_back(std::move(r));
+  }
+  return report;
+}
+
+}  // namespace pso::census

@@ -1,0 +1,100 @@
+#include "census/reidentify.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace pso::census {
+
+std::vector<CommercialEntry> SimulateCommercialDatabase(
+    const Population& population, const CommercialOptions& options,
+    Rng& rng) {
+  PSO_CHECK(options.coverage >= 0.0 && options.coverage <= 1.0);
+  std::vector<CommercialEntry> db;
+  for (const Block& block : population.blocks) {
+    for (size_t i = 0; i < block.persons.size(); ++i) {
+      if (!rng.Bernoulli(options.coverage)) continue;
+      CommercialEntry e;
+      e.person_id = block.person_ids[i];
+      e.block_id = block.id;
+      e.sex = block.persons.At(i, kSex);
+      e.age = block.persons.At(i, kAge);
+      if (options.age_error_rate > 0.0 && options.max_age_error >= 1 &&
+          rng.Bernoulli(options.age_error_rate)) {
+        int64_t delta = 1 + rng.UniformInt(0, options.max_age_error - 1);
+        if (rng.Bernoulli(0.5)) delta = -delta;
+        e.age = std::clamp<int64_t>(e.age + delta, 0, kMaxAge);
+      }
+      db.push_back(e);
+    }
+  }
+  return db;
+}
+
+double ReidentificationReport::putative_rate() const {
+  return population == 0 ? 0.0
+                         : static_cast<double>(putative) /
+                               static_cast<double>(population);
+}
+
+double ReidentificationReport::confirmed_rate() const {
+  return population == 0 ? 0.0
+                         : static_cast<double>(confirmed) /
+                               static_cast<double>(population);
+}
+
+double ReidentificationReport::precision() const {
+  return putative == 0 ? 0.0
+                       : static_cast<double>(confirmed) /
+                             static_cast<double>(putative);
+}
+
+ReidentificationReport Reidentify(
+    const Population& population,
+    const std::vector<BlockReconstruction>& reconstructions,
+    const std::vector<CommercialEntry>& commercial, int64_t age_tolerance) {
+  PSO_CHECK(reconstructions.size() == population.blocks.size());
+
+  // Index reconstructions and truth by block id.
+  std::map<size_t, const BlockReconstruction*> recon_by_block;
+  for (const auto& r : reconstructions) recon_by_block[r.block_id] = &r;
+  std::map<size_t, const Block*> block_by_id;
+  for (const Block& b : population.blocks) block_by_id[b.id] = &b;
+
+  ReidentificationReport report;
+  report.population = population.total_persons;
+  report.commercial_entries = commercial.size();
+
+  for (const CommercialEntry& entry : commercial) {
+    auto rit = recon_by_block.find(entry.block_id);
+    if (rit == recon_by_block.end()) continue;
+    const BlockReconstruction& recon = *rit->second;
+    if (recon.reconstructed.empty()) continue;
+
+    // Find reconstructed records matching (sex, age within tolerance).
+    const Record* match = nullptr;
+    size_t matches = 0;
+    for (const Record& r : recon.reconstructed) {
+      if (r[kSex] == entry.sex &&
+          std::llabs(r[kAge] - entry.age) <= age_tolerance) {
+        ++matches;
+        match = &r;
+      }
+    }
+    if (matches != 1) continue;  // ambiguous or no match: no claim
+    ++report.putative;
+
+    // Confirmed iff the claimed record equals the true person's record.
+    const Block& block = *block_by_id.at(entry.block_id);
+    for (size_t i = 0; i < block.person_ids.size(); ++i) {
+      if (block.person_ids[i] == entry.person_id) {
+        if (block.persons.record(i) == *match) ++report.confirmed;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace pso::census

@@ -1,0 +1,38 @@
+// SAT-based block reconstruction: the alternative back-end the published
+// reconstruction literature used (the Census Bureau's experiments ran on
+// commercial MIP solvers; academic reproductions commonly use SAT with
+// cardinality encodings). Cross-validates the CSP engine: both must agree
+// on satisfiability, and on uniquely-determined blocks both must return
+// the ground truth.
+//
+// Encoding: one boolean y_{p,v} per (person p, candidate value v) with
+// exactly-one per person; every table cell "count of persons matching S
+// is in [lo, hi]" becomes at-least/at-most cardinality constraints (Sinz
+// sequential counters) over { y_{p,v} : v in S }.
+
+#ifndef PSO_CENSUS_SAT_RECONSTRUCT_H_
+#define PSO_CENSUS_SAT_RECONSTRUCT_H_
+
+#include <vector>
+
+#include "census/tabulator.h"
+#include "common/result.h"
+
+namespace pso::census {
+
+/// Outcome of the SAT reconstruction of one block.
+struct SatReconstruction {
+  bool satisfiable = false;
+  std::vector<Record> reconstructed;  ///< One consistent solution.
+  size_t decisions = 0;               ///< DPLL decisions used.
+  size_t variables = 0;               ///< Total SAT variables (incl. aux).
+};
+
+/// Encodes `tables` as CNF and runs the DPLL solver. `max_decisions`
+/// bounds the search (0 = unlimited); exceeding it returns kInternal.
+Result<SatReconstruction> ReconstructBlockSat(const BlockTables& tables,
+                                              size_t max_decisions = 0);
+
+}  // namespace pso::census
+
+#endif  // PSO_CENSUS_SAT_RECONSTRUCT_H_

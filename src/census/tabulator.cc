@@ -1,0 +1,82 @@
+#include "census/tabulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dp/exponential.h"
+#include "dp/mechanisms.h"
+
+namespace pso::census {
+
+BlockTables Tabulate(const Block& block) {
+  BlockTables t;
+  t.block_id = block.id;
+  t.total = static_cast<int64_t>(block.persons.size());
+  t.by_age.assign(static_cast<size_t>(kMaxAge) + 1, 0);
+  t.by_sex_age_bucket.assign(2 * kAgeBuckets, 0);
+  t.by_race.assign(6, 0);
+  t.by_hispanic.assign(2, 0);
+  t.by_race_sex_age_bucket.assign(6 * 2 * kAgeBuckets, 0);
+  t.by_hispanic_sex_age_bucket.assign(2 * 2 * kAgeBuckets, 0);
+
+  std::vector<int64_t> ages;
+  for (const Record& r : block.persons.records()) {
+    ++t.by_age[static_cast<size_t>(r[kAge])];
+    size_t bucket = static_cast<size_t>(r[kAge]) / 5;
+    size_t sex = static_cast<size_t>(r[kSex]);
+    ++t.by_sex_age_bucket[sex * kAgeBuckets + bucket];
+    ++t.by_race[static_cast<size_t>(r[kRace])];
+    ++t.by_hispanic[static_cast<size_t>(r[kHispanic])];
+    ++t.by_race_sex_age_bucket[(static_cast<size_t>(r[kRace]) * 2 + sex) *
+                                   kAgeBuckets +
+                               bucket];
+    ++t.by_hispanic_sex_age_bucket
+        [(static_cast<size_t>(r[kHispanic]) * 2 + sex) * kAgeBuckets +
+         bucket];
+    ages.push_back(r[kAge]);
+  }
+  if (!ages.empty()) {
+    size_t mid = (ages.size() - 1) / 2;
+    std::nth_element(ages.begin(), ages.begin() + mid, ages.end());
+    t.median_age = ages[mid];
+  }
+  t.noise_slack = 0;
+  return t;
+}
+
+BlockTables TabulateDp(const Block& block, double eps, Rng& rng,
+                       bool dp_median) {
+  PSO_CHECK(eps > 0.0);
+  BlockTables t = Tabulate(block);
+  const double eps_per_family = eps / (dp_median ? 7.0 : 6.0);
+
+  auto noise = [&](std::vector<int64_t>& cells) {
+    for (int64_t& c : cells) {
+      c = std::max<int64_t>(0, dp::GeometricValue(c, eps_per_family, rng));
+    }
+  };
+  noise(t.by_age);
+  noise(t.by_sex_age_bucket);
+  noise(t.by_race);
+  noise(t.by_hispanic);
+  noise(t.by_race_sex_age_bucket);
+  noise(t.by_hispanic_sex_age_bucket);
+  t.total = std::max<int64_t>(
+      0, dp::GeometricValue(t.total, eps_per_family, rng));
+  if (dp_median && !block.persons.empty()) {
+    t.median_age = dp::DpMedian(block.persons, kAge, eps_per_family, rng);
+  } else {
+    t.median_age.reset();  // withheld under DP release
+  }
+
+  // 95% two-sided geometric quantile: P(|X| > s) = alpha^{s+1} ... solve
+  // alpha^s <= 0.05 with alpha = e^{-eps'}.
+  double alpha = std::exp(-eps_per_family);
+  t.noise_slack = static_cast<int64_t>(
+      std::ceil(std::log(0.05) / std::log(alpha)));
+  if (t.noise_slack < 1) t.noise_slack = 1;
+  return t;
+}
+
+}  // namespace pso::census

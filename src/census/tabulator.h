@@ -1,0 +1,66 @@
+// SF1-style block tabulation.
+//
+// Mirrors (in miniature) the 2010 Summary File 1 tables the published
+// reconstruction consumed: total population, single-year-of-age counts,
+// sex by 5-year age bucket, race, Hispanic origin, and median age. The DP
+// variant releases the same cells through the geometric mechanism — the
+// post-2020 disclosure-avoidance posture — and is what defeats the
+// reconstruction in the benches.
+
+#ifndef PSO_CENSUS_TABULATOR_H_
+#define PSO_CENSUS_TABULATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "census/population.h"
+#include "common/rng.h"
+
+namespace pso::census {
+
+/// Number of 5-year age buckets covering [0, kMaxAge].
+constexpr size_t kAgeBuckets = static_cast<size_t>(kMaxAge) / 5 + 1;
+
+/// The published tables for one block.
+struct BlockTables {
+  size_t block_id = 0;
+  int64_t total = 0;
+  /// Single year of age: counts[age], age in [0, kMaxAge].
+  std::vector<int64_t> by_age;
+  /// Sex by age bucket: counts[sex * kAgeBuckets + bucket].
+  std::vector<int64_t> by_sex_age_bucket;
+  /// Race counts (6 cells).
+  std::vector<int64_t> by_race;
+  /// Hispanic-origin counts (2 cells).
+  std::vector<int64_t> by_hispanic;
+  /// P12A-I style: sex by age bucket iterated by race:
+  /// counts[(race * 2 + sex) * kAgeBuckets + bucket] (240 cells).
+  std::vector<int64_t> by_race_sex_age_bucket;
+  /// P12H style: sex by age bucket iterated by Hispanic origin:
+  /// counts[(hispanic * 2 + sex) * kAgeBuckets + bucket] (80 cells).
+  std::vector<int64_t> by_hispanic_sex_age_bucket;
+  /// Lower median age (absent for empty blocks or DP releases).
+  std::optional<int64_t> median_age;
+  /// Slack applied to every count when reconstructing: 0 for exact tables,
+  /// > 0 for DP tables (uncertainty interval half-width).
+  int64_t noise_slack = 0;
+};
+
+/// Exact tabulation of a block.
+BlockTables Tabulate(const Block& block);
+
+/// eps-DP tabulation: every cell goes through the geometric mechanism.
+/// With `dp_median` false (default) the budget is split eps/6 across the
+/// six count families (each record touches one cell per family, so
+/// parallel composition applies within a family) and the median is
+/// withheld; with `dp_median` true the split is eps/7 and the median is
+/// released through the exponential mechanism (dp::DpMedian).
+/// Negative noisy counts are clamped to 0. `noise_slack` is set so the
+/// true count lies inside the interval with probability ~0.95 per cell.
+BlockTables TabulateDp(const Block& block, double eps, Rng& rng,
+                       bool dp_median = false);
+
+}  // namespace pso::census
+
+#endif  // PSO_CENSUS_TABULATOR_H_

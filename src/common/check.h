@@ -1,0 +1,34 @@
+// Lightweight assertion macros used throughout libpso.
+//
+// PSO_CHECK aborts on contract violations (programming errors); recoverable
+// conditions use pso::Status / pso::Result instead.
+
+#ifndef PSO_COMMON_CHECK_H_
+#define PSO_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic if `cond` is false. Always enabled (the library
+/// is correctness-critical; the cost of the branch is negligible relative to
+/// the statistical workloads it guards).
+#define PSO_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PSO_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// PSO_CHECK with an explanatory message.
+#define PSO_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PSO_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // PSO_COMMON_CHECK_H_

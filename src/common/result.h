@@ -1,0 +1,72 @@
+// Result<T>: a value or a Status (StatusOr/arrow::Result idiom).
+
+#ifndef PSO_COMMON_RESULT_H_
+#define PSO_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace pso {
+
+/// Holds either a T (on success) or a non-OK Status (on failure).
+///
+/// Accessing the value of a failed Result is a contract violation and
+/// aborts; callers must test `ok()` first or propagate the status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`. Intentionally implicit
+  /// so functions can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK `status`. Intentionally
+  /// implicit so functions can `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PSO_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The held value; requires `ok()`.
+  const T& value() const& {
+    PSO_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    PSO_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    PSO_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace pso
+
+#endif  // PSO_COMMON_RESULT_H_

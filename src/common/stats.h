@@ -1,0 +1,90 @@
+// Summary statistics and confidence intervals for Monte-Carlo experiments.
+//
+// Every empirical claim in the benches (attack success probabilities,
+// reconstruction accuracies) is reported with a Wilson confidence interval
+// so "negligible" vs "constant" success can be distinguished rigorously.
+
+#ifndef PSO_COMMON_STATS_H_
+#define PSO_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pso {
+
+/// A [lo, hi] interval around a point estimate.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// True if `x` lies inside the interval (inclusive).
+  bool Contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/// Online accumulator for mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Bernoulli success counter with Wilson-score confidence intervals.
+///
+/// The Wilson interval behaves sensibly at 0 and k/n extremes, which matters
+/// when measuring attack probabilities expected to be negligible.
+class BernoulliEstimator {
+ public:
+  /// Records one trial.
+  void Add(bool success);
+
+  /// Records `successes` out of `trials` at once.
+  void AddBatch(size_t successes, size_t trials);
+
+  size_t trials() const { return trials_; }
+  size_t successes() const { return successes_; }
+
+  /// Point estimate k/n (0 when no trials).
+  double rate() const;
+
+  /// Wilson score interval at confidence z (default z = 1.96 for 95%).
+  Interval WilsonInterval(double z = 1.96) const;
+
+ private:
+  size_t trials_ = 0;
+  size_t successes_ = 0;
+};
+
+/// Exact binomial probability that a weight-`w` predicate isolates in an
+/// i.i.d. sample of size `n`: n * w * (1-w)^(n-1). This is the paper's
+/// baseline curve for trivial (output-ignoring) attackers (Section 2.2).
+double BaselineIsolationProbability(size_t n, double w);
+
+/// Mean of a vector (0 for empty).
+double Mean(const std::vector<double>& xs);
+
+/// Population median (averaging the middle pair for even sizes).
+double Median(std::vector<double> xs);
+
+/// Quantile in [0,1] by linear interpolation of the sorted sample.
+double Quantile(std::vector<double> xs, double q);
+
+}  // namespace pso
+
+#endif  // PSO_COMMON_STATS_H_

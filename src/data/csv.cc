@@ -1,0 +1,89 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace pso {
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  const Schema& schema = dataset.schema();
+  std::string out;
+  std::vector<std::string> headers;
+  headers.reserve(schema.NumAttributes());
+  for (size_t i = 0; i < schema.NumAttributes(); ++i) {
+    headers.push_back(schema.attribute(i).name());
+  }
+  out += Join(headers, ",");
+  out += "\n";
+  for (size_t r = 0; r < dataset.size(); ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(schema.NumAttributes());
+    for (size_t c = 0; c < schema.NumAttributes(); ++c) {
+      cells.push_back(schema.attribute(c).ValueToString(dataset.At(r, c)));
+    }
+    out += Join(cells, ",");
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Dataset> DatasetFromCsv(const Schema& schema, const std::string& csv) {
+  std::vector<std::string> lines = Split(csv, '\n');
+  if (lines.empty() || Trim(lines[0]).empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+  std::vector<std::string> header = Split(Trim(lines[0]), ',');
+  if (header.size() != schema.NumAttributes()) {
+    return Status::InvalidArgument(
+        StrFormat("CSV has %zu columns, schema has %zu", header.size(),
+                  schema.NumAttributes()));
+  }
+  // Map CSV column position -> schema attribute index.
+  std::vector<size_t> col_to_attr(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    Result<size_t> idx = schema.IndexOf(Trim(header[c]));
+    if (!idx.ok()) return idx.status();
+    col_to_attr[c] = *idx;
+  }
+
+  Dataset out{schema};
+  for (size_t li = 1; li < lines.size(); ++li) {
+    std::string line = Trim(lines[li]);
+    if (line.empty()) continue;
+    std::vector<std::string> cells = Split(line, ',');
+    if (cells.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu cells, expected %zu", li + 1,
+                    cells.size(), header.size()));
+    }
+    Record record(schema.NumAttributes());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const Attribute& attr = schema.attribute(col_to_attr[c]);
+      Result<int64_t> v = attr.ValueFromString(Trim(cells[c]));
+      if (!v.ok()) return v.status();
+      record[col_to_attr[c]] = *v;
+    }
+    out.Append(std::move(record));
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::Internal("cannot open '" + path + "' for writing");
+  f << DatasetToCsv(dataset);
+  if (!f) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<Dataset> ReadCsvFile(const Schema& schema, const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return DatasetFromCsv(schema, ss.str());
+}
+
+}  // namespace pso

@@ -1,0 +1,29 @@
+// CSV import/export for datasets (decoded through the schema's labels).
+
+#ifndef PSO_DATA_CSV_H_
+#define PSO_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace pso {
+
+/// Serializes `dataset` as CSV with a header row of attribute names.
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Parses CSV text (header row required, columns matched to `schema` by
+/// name) into a dataset. Fails on unknown columns, missing columns, or
+/// out-of-domain values.
+Result<Dataset> DatasetFromCsv(const Schema& schema, const std::string& csv);
+
+/// Writes `dataset` to `path`.
+Status WriteCsvFile(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset from the CSV file at `path`.
+Result<Dataset> ReadCsvFile(const Schema& schema, const std::string& path);
+
+}  // namespace pso
+
+#endif  // PSO_DATA_CSV_H_

@@ -1,0 +1,112 @@
+#include "data/dataset.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace pso {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+Dataset::Dataset(Schema schema, std::vector<Record> records)
+    : schema_(std::move(schema)), records_(std::move(records)) {
+  for (const Record& r : records_) {
+    PSO_CHECK_MSG(schema_.IsValidRecord(r), "record does not match schema");
+  }
+}
+
+const Record& Dataset::record(size_t i) const {
+  PSO_CHECK(i < records_.size());
+  return records_[i];
+}
+
+void Dataset::Append(Record record) {
+  PSO_CHECK_MSG(schema_.IsValidRecord(record), "record does not match schema");
+  records_.push_back(std::move(record));
+}
+
+int64_t Dataset::At(size_t row, size_t attr) const {
+  PSO_CHECK(row < records_.size());
+  PSO_CHECK(attr < schema_.NumAttributes());
+  return records_[row][attr];
+}
+
+Dataset Dataset::Project(const std::vector<size_t>& attr_indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(attr_indices.size());
+  for (size_t idx : attr_indices) attrs.push_back(schema_.attribute(idx));
+  Dataset out((Schema(std::move(attrs))));
+  for (const Record& r : records_) {
+    Record projected;
+    projected.reserve(attr_indices.size());
+    for (size_t idx : attr_indices) projected.push_back(r[idx]);
+    out.Append(std::move(projected));
+  }
+  return out;
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& rows) const {
+  Dataset out(schema_);
+  for (size_t row : rows) {
+    PSO_CHECK(row < records_.size());
+    out.Append(records_[row]);
+  }
+  return out;
+}
+
+size_t Dataset::CountEqual(const Record& target) const {
+  size_t count = 0;
+  for (const Record& r : records_) {
+    if (r == target) ++count;
+  }
+  return count;
+}
+
+std::vector<std::vector<size_t>> Dataset::GroupIdentical() const {
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    buckets[schema_.RecordKey(records_[i])].push_back(i);
+  }
+  std::vector<std::vector<size_t>> groups;
+  groups.reserve(buckets.size());
+  for (auto& [key, rows] : buckets) {
+    // Hash buckets may (very rarely) merge distinct records; split exactly.
+    while (!rows.empty()) {
+      std::vector<size_t> group;
+      const Record& rep = records_[rows.front()];
+      std::vector<size_t> rest;
+      for (size_t row : rows) {
+        if (records_[row] == rep) {
+          group.push_back(row);
+        } else {
+          rest.push_back(row);
+        }
+      }
+      rows = std::move(rest);
+      groups.push_back(std::move(group));
+    }
+  }
+  return groups;
+}
+
+double Dataset::FractionUnique() const {
+  if (records_.empty()) return 0.0;
+  size_t unique = 0;
+  for (const auto& g : GroupIdentical()) {
+    if (g.size() == 1) ++unique;
+  }
+  return static_cast<double>(unique) / static_cast<double>(records_.size());
+}
+
+std::string Dataset::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < records_.size() && i < max_rows; ++i) {
+    out += schema_.RecordToString(records_[i]);
+    out += "\n";
+  }
+  if (records_.size() > max_rows) out += "...\n";
+  return out;
+}
+
+}  // namespace pso

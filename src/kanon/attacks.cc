@@ -1,0 +1,255 @@
+#include "kanon/attacks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace pso::kanon {
+
+namespace {
+
+// True if the class is usable for isolation attacks: at least 2 rows and
+// not the fully suppressed catch-all.
+bool ClassEligible(const AnonymizationResult& result,
+                   const std::vector<size_t>& cls) {
+  if (cls.size() < 2) return false;
+  const Schema& schema = result.generalized.schema();
+  const auto& row = result.generalized.row(cls.front());
+  for (size_t a = 0; a < row.size(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    if (!(row[a].lo <= attr.MinValue() && row[a].hi >= attr.MaxValue())) {
+      return true;  // some attribute is not suppressed
+    }
+  }
+  return false;  // every attribute suppressed: catch-all class
+}
+
+// The shared cells of a class: per attribute, the cell if identical across
+// all class rows, nullopt otherwise.
+std::vector<std::optional<GenCell>> SharedCells(
+    const AnonymizationResult& result, const std::vector<size_t>& cls) {
+  const GeneralizedDataset& gds = result.generalized;
+  std::vector<std::optional<GenCell>> shared;
+  const auto& first = gds.row(cls.front());
+  shared.reserve(first.size());
+  for (const GenCell& c : first) shared.emplace_back(c);
+  for (size_t idx = 1; idx < cls.size(); ++idx) {
+    const auto& row = gds.row(cls[idx]);
+    for (size_t a = 0; a < row.size(); ++a) {
+      if (shared[a].has_value() && !(row[a] == *shared[a])) {
+        shared[a] = std::nullopt;
+      }
+    }
+  }
+  return shared;
+}
+
+PredicateRef SharedCellsPredicate(const AnonymizationResult& result,
+                                  const std::vector<std::optional<GenCell>>&
+                                      shared) {
+  const Schema& schema = result.generalized.schema();
+  std::vector<PredicateRef> terms;
+  for (size_t a = 0; a < shared.size(); ++a) {
+    if (!shared[a].has_value()) continue;
+    const Attribute& attr = schema.attribute(a);
+    if (shared[a]->lo <= attr.MinValue() && shared[a]->hi >= attr.MaxValue()) {
+      continue;  // suppressed: constrains nothing
+    }
+    terms.push_back(
+        MakeAttributeRange(a, shared[a]->lo, shared[a]->hi, attr.name()));
+  }
+  return MakeAnd(std::move(terms));
+}
+
+// Exact weight of a shared-cells box under a product distribution.
+double SharedCellsWeight(const ProductDistribution& dist,
+                         const std::vector<std::optional<GenCell>>& shared) {
+  double w = 1.0;
+  for (size_t a = 0; a < shared.size(); ++a) {
+    if (!shared[a].has_value()) continue;
+    w *= dist.marginal(a).MassInRange(shared[a]->lo, shared[a]->hi);
+  }
+  return w;
+}
+
+}  // namespace
+
+PredicateRef EquivalenceClassPredicate(const AnonymizationResult& result,
+                                       size_t class_idx) {
+  PSO_CHECK(class_idx < result.classes.size());
+  const auto& cls = result.classes[class_idx];
+  PSO_CHECK(!cls.empty());
+  return SharedCellsPredicate(result, SharedCells(result, cls));
+}
+
+std::optional<AttackPredicate> HashIsolationPredicate(
+    const AnonymizationResult& result, const ProductDistribution& dist,
+    double weight_budget, Rng& rng) {
+  // For a class of k' records whose box has mass w_box, a hash of range
+  // R >= k' gives predicate weight w_box / R and isolation probability
+  // k' (1/R) (1 - 1/R)^{k'-1} (1/e when R = k'). The attacker chooses the
+  // smallest R meeting the weight budget per class and plays the class
+  // with the best predicted success.
+  constexpr uint64_t kMaxRange = 1ULL << 40;
+
+  std::optional<size_t> best;
+  double best_success = 0.0;
+  double best_weight = 0.0;
+  uint64_t best_range = 0;
+  std::vector<std::optional<GenCell>> best_shared;
+  for (size_t c = 0; c < result.classes.size(); ++c) {
+    const auto& cls = result.classes[c];
+    if (!ClassEligible(result, cls)) continue;
+    auto shared = SharedCells(result, cls);
+    double w_box = SharedCellsWeight(dist, shared);
+    double k_prime = static_cast<double>(cls.size());
+
+    double needed = w_box / weight_budget;  // smallest admissible range
+    if (needed > static_cast<double>(kMaxRange)) continue;  // hopeless
+    uint64_t range = static_cast<uint64_t>(
+        std::max(k_prime, std::ceil(needed)));
+    double p = 1.0 / static_cast<double>(range);
+    double success =
+        k_prime * p * std::pow(1.0 - p, k_prime - 1.0);
+    if (!best.has_value() || success > best_success) {
+      best = c;
+      best_success = success;
+      best_weight = w_box / static_cast<double>(range);
+      best_range = range;
+      best_shared = std::move(shared);
+    }
+  }
+  if (!best.has_value()) return std::nullopt;
+
+  UniversalHash h(rng, best_range);
+  PredicateRef class_pred = SharedCellsPredicate(result, best_shared);
+  PredicateRef hash_pred =
+      MakeHashPredicate(result.generalized.schema(), h, /*bucket=*/0);
+
+  AttackPredicate out;
+  out.predicate = MakeAnd({class_pred, hash_pred});
+  out.class_index = *best;
+  out.predicted_weight = best_weight;
+  out.predicted_success = best_success;
+  return out;
+}
+
+std::optional<AttackPredicate> MinimalityIsolationPredicate(
+    const AnonymizationResult& result, const ProductDistribution& dist,
+    double weight_budget) {
+  const Schema& schema = result.generalized.schema();
+
+  std::optional<AttackPredicate> best;
+  for (size_t c = 0; c < result.classes.size(); ++c) {
+    const auto& cls = result.classes[c];
+    if (!ClassEligible(result, cls)) continue;
+    auto shared = SharedCells(result, cls);
+    const double box_weight = SharedCellsWeight(dist, shared);
+    const double k_prime = static_cast<double>(cls.size());
+
+    for (size_t a = 0; a < shared.size(); ++a) {
+      if (!shared[a].has_value() || shared[a]->Width() <= 1) continue;
+      const GenCell& cell = *shared[a];
+      double cell_mass = dist.marginal(a).MassInRange(cell.lo, cell.hi);
+      if (cell_mass <= 0.0) continue;
+
+      for (int64_t edge : {cell.lo, cell.hi}) {
+        // Probability a class member sits on the edge, conditioned on
+        // being inside the cell.
+        double p = dist.marginal(a).Probability(edge) / cell_mass;
+        if (p <= 0.0 || p >= 1.0) continue;
+        // Tight ranges guarantee >= 1 record on the edge; success iff
+        // exactly one: Binomial(k', p) conditioned on >= 1.
+        double none = std::pow(1.0 - p, k_prime);
+        double exactly_one = k_prime * p * std::pow(1.0 - p, k_prime - 1.0);
+        double success = exactly_one / (1.0 - none);
+        // Weight of "box AND attr == edge".
+        double weight =
+            box_weight * dist.marginal(a).Probability(edge) / cell_mass;
+        if (weight > weight_budget) continue;
+        if (!best.has_value() || success > best->predicted_success) {
+          // Replace the attr-a range with equality on the edge.
+          std::vector<PredicateRef> terms;
+          for (size_t b = 0; b < shared.size(); ++b) {
+            if (!shared[b].has_value()) continue;
+            const Attribute& attr = schema.attribute(b);
+            if (shared[b]->lo <= attr.MinValue() &&
+                shared[b]->hi >= attr.MaxValue()) {
+              continue;
+            }
+            if (b == a) {
+              terms.push_back(MakeAttributeEquals(b, edge, attr.name()));
+            } else {
+              terms.push_back(MakeAttributeRange(b, shared[b]->lo,
+                                                 shared[b]->hi, attr.name()));
+            }
+          }
+          AttackPredicate cand;
+          cand.predicate = MakeAnd(std::move(terms));
+          cand.class_index = c;
+          cand.predicted_weight = weight;
+          cand.predicted_success = success;
+          best = std::move(cand);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+IntersectionAttackResult IntersectionAttack(const Dataset& data,
+                                            const AnonymizationResult& a,
+                                            const AnonymizationResult& b,
+                                            size_t sensitive_attr) {
+  PSO_CHECK(sensitive_attr < data.schema().NumAttributes());
+  PSO_CHECK(a.generalized.size() == data.size());
+  PSO_CHECK(b.generalized.size() == data.size());
+
+  // Row -> class index maps.
+  auto class_of = [](const AnonymizationResult& r, size_t n) {
+    std::vector<size_t> map(n, 0);
+    for (size_t c = 0; c < r.classes.size(); ++c) {
+      for (size_t i : r.classes[c]) map[i] = c;
+    }
+    return map;
+  };
+  std::vector<size_t> in_a = class_of(a, data.size());
+  std::vector<size_t> in_b = class_of(b, data.size());
+
+  // Sensitive-value multisets per class.
+  auto values_of = [&](const AnonymizationResult& r) {
+    std::vector<std::set<int64_t>> vals(r.classes.size());
+    for (size_t c = 0; c < r.classes.size(); ++c) {
+      for (size_t i : r.classes[c]) {
+        vals[c].insert(data.At(i, sensitive_attr));
+      }
+    }
+    return vals;
+  };
+  std::vector<std::set<int64_t>> vals_a = values_of(a);
+  std::vector<std::set<int64_t>> vals_b = values_of(b);
+
+  IntersectionAttackResult out;
+  out.rows = data.size();
+  for (size_t i = 0; i < data.size(); ++i) {
+    const std::set<int64_t>& sa = vals_a[in_a[i]];
+    const std::set<int64_t>& sb = vals_b[in_b[i]];
+    size_t common = 0;
+    for (int64_t v : sa) {
+      if (sb.count(v) > 0) ++common;
+    }
+    if (common == 1) ++out.sensitive_pinned;
+    if (common < std::min(sa.size(), sb.size())) ++out.candidates_shrunk;
+  }
+  if (!data.empty()) {
+    double n = static_cast<double>(data.size());
+    out.pinned_fraction = static_cast<double>(out.sensitive_pinned) / n;
+    out.shrunk_fraction = static_cast<double>(out.candidates_shrunk) / n;
+  }
+  return out;
+}
+
+}  // namespace pso::kanon

@@ -1,0 +1,90 @@
+// Attacks on k-anonymized releases.
+//
+// * EquivalenceClassPredicate / HashIsolationPredicate implement the
+//   Theorem 2.10 attack verbatim: take the predicate of an equivalence
+//   class of k' records (negligible weight when the schema is rich), and
+//   conjoin a leftover-hash-lemma predicate of weight 1/k' over the class;
+//   the conjunction isolates with probability ~ 1/e ~ 37%.
+//
+// * MinimalityIsolationPredicate strengthens this for anonymizers that
+//   publish data-dependent tight ranges (Mondrian local recoding): a tight
+//   cell boundary is *attained* by some record, so "class AND attr == lo"
+//   matches at least one record and exactly one with high probability.
+//   This mirrors Cohen's downcoding result [12] (success approaching 100%).
+//
+// * IntersectionAttack implements the composition attack of Ganta et al.
+//   [23] (Section 1.1: k-anonymity is not closed under composition): two
+//   independent k-anonymizations of the same data are intersected to pin
+//   sensitive values.
+//
+// All attackers here see only the released x' (and, per Section 2.2, know
+// the data-generating distribution); none touch the raw dataset.
+
+#ifndef PSO_KANON_ATTACKS_H_
+#define PSO_KANON_ATTACKS_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "data/distribution.h"
+#include "kanon/generalized.h"
+#include "predicate/predicate.h"
+
+namespace pso::kanon {
+
+/// The conjunction of the cells shared by every row of class `class_idx`
+/// (attributes whose cells differ within the class are omitted).
+PredicateRef EquivalenceClassPredicate(const AnonymizationResult& result,
+                                       size_t class_idx);
+
+/// A predicate produced by an attack, with its audit trail.
+struct AttackPredicate {
+  PredicateRef predicate;
+  size_t class_index = 0;
+  double predicted_weight = 0.0;   ///< Attacker-side weight estimate.
+  double predicted_success = 0.0;  ///< Attacker-side isolation estimate.
+};
+
+/// Theorem 2.10 attack: picks the eligible class whose class predicate has
+/// the smallest exact weight under `dist` subject to weight*1/k' <=
+/// `weight_budget` (pass +infinity for "any"), and conjoins a fresh
+/// universal-hash predicate of range k'. Returns nullopt when no class is
+/// eligible (e.g. everything was suppressed).
+std::optional<AttackPredicate> HashIsolationPredicate(
+    const AnonymizationResult& result, const ProductDistribution& dist,
+    double weight_budget, Rng& rng);
+
+/// Minimality/downcoding attack for tight-range releases: over all
+/// (class, QI attribute, lo/hi side) candidates whose predicate weight is
+/// within `weight_budget`, picks the one maximizing the probability that
+/// the attained extreme value is unique in the class, and returns
+/// "class AND attr == extreme".
+std::optional<AttackPredicate> MinimalityIsolationPredicate(
+    const AnonymizationResult& result, const ProductDistribution& dist,
+    double weight_budget);
+
+/// Result of the composition (intersection) attack.
+struct IntersectionAttackResult {
+  size_t rows = 0;
+  size_t sensitive_pinned = 0;  ///< Rows whose sensitive value is uniquely
+                                ///< determined by intersecting the releases.
+  double pinned_fraction = 0.0;
+  /// Rows whose sensitive candidate set strictly shrank versus what either
+  /// release alone reveals — the composition leaked extra information even
+  /// when it did not fully pin the value.
+  size_t candidates_shrunk = 0;
+  double shrunk_fraction = 0.0;
+};
+
+/// Intersects two independent anonymizations of the same dataset (rows
+/// aligned by index): for each row, the candidate sensitive values are the
+/// ones present in the row's class in *both* releases; a singleton
+/// intersection discloses the value.
+IntersectionAttackResult IntersectionAttack(const Dataset& data,
+                                            const AnonymizationResult& a,
+                                            const AnonymizationResult& b,
+                                            size_t sensitive_attr);
+
+}  // namespace pso::kanon
+
+#endif  // PSO_KANON_ATTACKS_H_

@@ -1,0 +1,37 @@
+// Datafly-style greedy full-domain generalization (Sweeney).
+//
+// Global recoding: all rows share one generalization level per
+// quasi-identifier attribute. The algorithm raises the level of the QI
+// attribute with the most distinct generalized values until every
+// equivalence class reaches size k, suppressing up to a bounded fraction
+// of outlier rows instead of over-generalizing. This is the "typical
+// implementation ... which tries to optimize on the information content"
+// that Theorem 2.10 speaks about.
+
+#ifndef PSO_KANON_DATAFLY_H_
+#define PSO_KANON_DATAFLY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "kanon/generalized.h"
+
+namespace pso::kanon {
+
+/// Configuration for the Datafly anonymizer.
+struct DataflyOptions {
+  size_t k = 5;                    ///< Minimum equivalence-class size.
+  std::vector<size_t> qi_attrs;    ///< Quasi-identifier attribute indices.
+  double max_suppression = 0.05;   ///< Max fraction of rows to suppress.
+};
+
+/// Runs Datafly on `data`. Non-QI attributes are kept exact (sensitive
+/// attributes in the k-anonymity literature are not generalized).
+/// Suppressed rows get full-domain cells on every attribute.
+Result<AnonymizationResult> DataflyAnonymize(const Dataset& data,
+                                             const HierarchySet& hierarchies,
+                                             const DataflyOptions& options);
+
+}  // namespace pso::kanon
+
+#endif  // PSO_KANON_DATAFLY_H_

@@ -1,0 +1,166 @@
+#include "kanon/lattice.h"
+
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "kanon/metrics.h"
+
+namespace pso::kanon {
+
+namespace {
+
+using Levels = std::vector<size_t>;
+
+// True iff generalizing the QI attributes of `data` at `levels` yields
+// classes of size >= k.
+bool IsAnonymousAt(const Dataset& data, const HierarchySet& hierarchies,
+                   const std::vector<size_t>& qi, const Levels& levels,
+                   size_t k) {
+  std::map<std::vector<std::pair<int64_t, int64_t>>, size_t> counts;
+  for (const Record& r : data.records()) {
+    std::vector<std::pair<int64_t, int64_t>> key;
+    key.reserve(qi.size());
+    for (size_t j = 0; j < qi.size(); ++j) {
+      GenCell c = hierarchies.hierarchy(qi[j]).Generalize(r[qi[j]],
+                                                          levels[j]);
+      key.emplace_back(c.lo, c.hi);
+    }
+    ++counts[std::move(key)];
+  }
+  for (const auto& [key, count] : counts) {
+    if (count < k) return false;
+  }
+  return true;
+}
+
+// Builds the release at `levels` (non-QI attributes kept exact).
+AnonymizationResult BuildRelease(const Dataset& data,
+                                 const HierarchySet& hierarchies,
+                                 const std::vector<size_t>& qi,
+                                 const Levels& levels) {
+  GeneralizedDataset gds(hierarchies);
+  const Schema& schema = data.schema();
+  std::map<std::vector<std::pair<int64_t, int64_t>>, std::vector<size_t>>
+      buckets;
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<GenCell> cells(schema.NumAttributes());
+    for (size_t a = 0; a < schema.NumAttributes(); ++a) {
+      cells[a] = GenCell{data.At(i, a), data.At(i, a)};
+    }
+    std::vector<std::pair<int64_t, int64_t>> key;
+    key.reserve(qi.size());
+    for (size_t j = 0; j < qi.size(); ++j) {
+      GenCell c = hierarchies.hierarchy(qi[j]).Generalize(
+          data.At(i, qi[j]), levels[j]);
+      cells[qi[j]] = c;
+      key.emplace_back(c.lo, c.hi);
+    }
+    buckets[std::move(key)].push_back(i);
+    gds.Append(std::move(cells));
+  }
+  AnonymizationResult result{std::move(gds), {}, 0};
+  result.classes.reserve(buckets.size());
+  for (auto& [key, rows] : buckets) result.classes.push_back(std::move(rows));
+  return result;
+}
+
+}  // namespace
+
+Result<LatticeResult> OptimalFullDomainAnonymize(
+    const Dataset& data, const HierarchySet& hierarchies,
+    const LatticeOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  if (options.qi_attrs.empty()) {
+    return Status::InvalidArgument("no quasi-identifier attributes given");
+  }
+  for (size_t a : options.qi_attrs) {
+    if (a >= data.schema().NumAttributes()) {
+      return Status::InvalidArgument("QI attribute index out of range");
+    }
+  }
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (data.size() < options.k) return Status::Infeasible("fewer rows than k");
+
+  const std::vector<size_t>& qi = options.qi_attrs;
+  Levels top(qi.size());
+  for (size_t j = 0; j < qi.size(); ++j) {
+    top[j] = hierarchies.hierarchy(qi[j]).NumLevels() - 1;
+  }
+  if (!IsAnonymousAt(data, hierarchies, qi, top, options.k)) {
+    return Status::Infeasible(
+        "not k-anonymous even at full suppression (duplicated records "
+        "fewer than k)");
+  }
+
+  // Bottom-up BFS by total height. Monotonicity: once a node is
+  // k-anonymous it is minimal (no tested predecessor was), and none of
+  // its successors can be minimal — mark the whole up-set as dominated.
+  std::set<Levels> frontier = {Levels(qi.size(), 0)};
+  std::set<Levels> seen = frontier;
+  std::vector<Levels> minimal;
+  size_t examined = 0;
+
+  auto dominated = [&minimal](const Levels& node) {
+    for (const Levels& m : minimal) {
+      bool above = true;
+      for (size_t j = 0; j < node.size(); ++j) {
+        if (node[j] < m[j]) {
+          above = false;
+          break;
+        }
+      }
+      if (above) return true;
+    }
+    return false;
+  };
+
+  while (!frontier.empty()) {
+    std::set<Levels> next;
+    for (const Levels& node : frontier) {
+      if (dominated(node)) continue;
+      if (++examined > options.max_nodes) {
+        if (minimal.empty()) {
+          return Status::Internal("lattice node budget exhausted");
+        }
+        frontier.clear();
+        break;
+      }
+      if (IsAnonymousAt(data, hierarchies, qi, node, options.k)) {
+        minimal.push_back(node);
+        continue;  // successors dominated
+      }
+      for (size_t j = 0; j < qi.size(); ++j) {
+        if (node[j] >= top[j]) continue;
+        Levels succ = node;
+        ++succ[j];
+        if (seen.insert(succ).second) next.insert(std::move(succ));
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  PSO_CHECK_MSG(!minimal.empty(), "top node is anonymous, BFS must find it");
+
+  // Pick the minimal node with the least information loss.
+  const Levels* best = nullptr;
+  double best_loss = 0.0;
+  AnonymizationResult best_release{GeneralizedDataset{hierarchies}, {}, 0};
+  for (const Levels& node : minimal) {
+    AnonymizationResult release = BuildRelease(data, hierarchies, qi, node);
+    double loss = GeneralizedInformationLoss(release.generalized);
+    if (best == nullptr || loss < best_loss) {
+      best = &node;
+      best_loss = loss;
+      best_release = std::move(release);
+    }
+  }
+
+  LatticeResult out{std::move(best_release), *best, examined,
+                    minimal.size()};
+  return out;
+}
+
+}  // namespace pso::kanon

@@ -1,0 +1,50 @@
+// Optimal full-domain generalization by lattice search (Incognito-style).
+//
+// The paper notes that minimizing suppression/generalization is NP-hard
+// (Meyerson–Williams [30]) "and a rich algorithmic literature exists".
+// Datafly (datafly.h) is the greedy end of that literature; this module
+// is the exact end: enumerate the lattice of per-attribute generalization
+// level vectors bottom-up, exploit the anonymity monotonicity (coarser
+// levels preserve k-anonymity) to collect the *minimal* k-anonymous
+// nodes, and return the one with the least information loss.
+//
+// Cost is exponential in the number of quasi-identifier attributes — use
+// for small QI sets or as a quality yardstick for the greedy anonymizers.
+
+#ifndef PSO_KANON_LATTICE_H_
+#define PSO_KANON_LATTICE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "kanon/generalized.h"
+
+namespace pso::kanon {
+
+/// Configuration for the lattice search.
+struct LatticeOptions {
+  size_t k = 5;
+  std::vector<size_t> qi_attrs;   ///< Quasi-identifier attribute indices.
+  size_t max_nodes = 200000;      ///< Lattice nodes to examine at most.
+};
+
+/// Outcome of the search.
+struct LatticeResult {
+  AnonymizationResult anonymization;   ///< The loss-optimal release.
+  std::vector<size_t> levels;          ///< Chosen level per QI attribute.
+  size_t nodes_examined = 0;
+  size_t minimal_nodes = 0;  ///< Count of minimal k-anonymous nodes found.
+};
+
+/// Finds the full-domain generalization with minimal
+/// GeneralizedInformationLoss among all k-anonymous level vectors
+/// (suppression-free). Returns kInfeasible when even the top of the
+/// lattice is not k-anonymous, kInternal when max_nodes is exhausted
+/// before any k-anonymous node is found.
+Result<LatticeResult> OptimalFullDomainAnonymize(
+    const Dataset& data, const HierarchySet& hierarchies,
+    const LatticeOptions& options);
+
+}  // namespace pso::kanon
+
+#endif  // PSO_KANON_LATTICE_H_

@@ -1,0 +1,45 @@
+// Mondrian multidimensional k-anonymization (LeFevre–DeWitt–Ramakrishnan).
+//
+// Local recoding: the QI space is recursively split at medians while both
+// sides keep >= k rows; each leaf partition becomes an equivalence class
+// whose cells are the partition's tight [min, max] attribute ranges.
+//
+// The tight (data-dependent) ranges are exactly what makes minimality /
+// downcoding attacks possible (Cohen [12], strengthening Theorem 2.10):
+// the cell boundary values are guaranteed to be attained by some record.
+
+#ifndef PSO_KANON_MONDRIAN_H_
+#define PSO_KANON_MONDRIAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "kanon/generalized.h"
+
+namespace pso::kanon {
+
+/// Configuration for the Mondrian anonymizer.
+struct MondrianOptions {
+  size_t k = 5;                  ///< Minimum equivalence-class size.
+  std::vector<size_t> qi_attrs;  ///< Quasi-identifier attribute indices.
+  /// If true, leaf cells are the tight [min,max] of the partition (the
+  /// standard, information-maximizing choice). If false, leaf cells are
+  /// snapped outward to the full attribute domain fractions chosen by the
+  /// split path (coarser, less leaky).
+  bool tight_ranges = true;
+
+  /// When l_diversity >= 2, a cut is allowable only if both sides keep at
+  /// least l distinct values of `sensitive_attr` (footnote 3's variant;
+  /// the PSO attacks of attacks.h go through regardless, see E8).
+  size_t l_diversity = 0;
+  size_t sensitive_attr = 0;
+};
+
+/// Runs Mondrian on `data`. Non-QI attributes are kept exact.
+Result<AnonymizationResult> MondrianAnonymize(const Dataset& data,
+                                              const HierarchySet& hierarchies,
+                                              const MondrianOptions& options);
+
+}  // namespace pso::kanon
+
+#endif  // PSO_KANON_MONDRIAN_H_

@@ -1,0 +1,73 @@
+#include "legal/report.h"
+
+#include "common/str_util.h"
+#include "common/table.h"
+
+namespace pso::legal {
+
+namespace {
+
+// The Working Party's published answers to "Is singling out still a
+// risk?" (Opinion 05/2014 on Anonymisation Techniques, Table 6).
+std::string WpAnswer(const std::string& technology) {
+  if (technology.find("k-anonymity") != std::string::npos ||
+      technology.find("K-anonymity") != std::string::npos) {
+    return "No";
+  }
+  if (technology.find("l-diversity") != std::string::npos ||
+      technology.find("t-closeness") != std::string::npos) {
+    return "No";
+  }
+  if (technology.find("ifferential") != std::string::npos) {
+    return "May not";
+  }
+  return "(not assessed)";
+}
+
+}  // namespace
+
+void LegalReport::AddClaim(LegalClaim claim) {
+  claims_.push_back(std::move(claim));
+}
+
+std::string LegalReport::Render() const {
+  std::string out =
+      "==== Legal theorems (formal claims with empirical evidence) ====\n";
+  for (const LegalClaim& c : claims_) {
+    out += c.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<Article29Row> LegalReport::Article29Comparison(
+    const std::vector<std::pair<std::string, bool>>& risk_by_technology) {
+  std::vector<Article29Row> rows;
+  rows.reserve(risk_by_technology.size());
+  for (const auto& [technology, risky] : risk_by_technology) {
+    Article29Row row;
+    row.technology = technology;
+    row.wp_opinion = WpAnswer(technology);
+    row.our_verdict = risky ? "Yes (attack demonstrated)"
+                            : "No attack found (tested adversaries)";
+    // Conflict when the WP said "No (risk eliminated)" but we demonstrated
+    // an attack, or the WP hedged on DP while no attack exists.
+    row.conflict = (row.wp_opinion == "No" && risky) ||
+                   (row.wp_opinion == "May not" && !risky);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string LegalReport::RenderArticle29Table(
+    const std::vector<Article29Row>& rows) {
+  TextTable table({"Technology", "A29WP: singling out a risk?",
+                   "This analysis", "Conflict"});
+  for (const Article29Row& r : rows) {
+    table.AddRow({r.technology, r.wp_opinion, r.our_verdict,
+                  r.conflict ? "YES" : "no"});
+  }
+  return table.Render();
+}
+
+}  // namespace pso::legal

@@ -1,0 +1,102 @@
+#include "legal/verdict.h"
+
+#include "common/str_util.h"
+
+namespace pso::legal {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kSatisfies:
+      return "SATISFIES";
+    case Verdict::kFails:
+      return "FAILS";
+    case Verdict::kNeedsFurtherAnalysis:
+      return "NEEDS FURTHER ANALYSIS";
+  }
+  return "?";
+}
+
+std::string LegalClaim::ToString() const {
+  std::string out = StrFormat("[%s] %s vs %s: %s\n  %s\n", id.c_str(),
+                              technology.c_str(), standard.c_str(),
+                              VerdictName(verdict), statement.c_str());
+  for (const Evidence& e : evidence) {
+    out += StrFormat(
+        "  evidence: %-60s attack=%.3f (CI lo %.3f) baseline=%.3f  %s\n",
+        e.description.c_str(), e.attack_rate, e.attack_rate_ci_lo,
+        e.baseline,
+        e.demonstrates_failure ? "=> singling out demonstrated" : "");
+  }
+  return out;
+}
+
+Evidence EvidenceFromGame(const PsoGameResult& result) {
+  Evidence e;
+  e.description = result.mechanism + " vs " + result.adversary;
+  e.attack_rate = result.pso_success.rate();
+  e.attack_rate_ci_lo = result.pso_success.WilsonInterval().lo;
+  e.baseline = result.baseline;
+  e.demonstrates_failure =
+      e.attack_rate_ci_lo > e.baseline + kFailureMargin;
+  return e;
+}
+
+LegalClaim EvaluateSinglingOutClaim(
+    const std::string& technology,
+    const std::vector<PsoGameResult>& games) {
+  LegalClaim claim;
+  claim.technology = technology;
+  claim.standard = "GDPR Recital 26: prevention of singling out";
+  bool any_failure = false;
+  for (const PsoGameResult& g : games) {
+    Evidence e = EvidenceFromGame(g);
+    any_failure = any_failure || e.demonstrates_failure;
+    claim.evidence.push_back(std::move(e));
+  }
+  if (any_failure) {
+    claim.id = "Legal Theorem 2.1 (instance)";
+    claim.verdict = Verdict::kFails;
+    claim.statement =
+        technology +
+        " fails to prevent predicate singling out; since security against "
+        "PSO is weaker than the GDPR notion, it fails to prevent singling "
+        "out as required by the GDPR.";
+  } else {
+    claim.id = "Singling-out assessment";
+    claim.verdict = Verdict::kNeedsFurtherAnalysis;
+    claim.statement =
+        technology +
+        " prevented predicate singling out against every tested attacker "
+        "(success within the trivial baseline). Preventing singling out is "
+        "necessary but not sufficient for GDPR anonymization, so further "
+        "analysis is needed.";
+  }
+  return claim;
+}
+
+LegalClaim DeriveAnonymizationCorollary(const LegalClaim& singling_out) {
+  LegalClaim corollary;
+  corollary.technology = singling_out.technology;
+  corollary.standard = "GDPR anonymization standard (Recital 26)";
+  corollary.evidence = singling_out.evidence;
+  if (singling_out.verdict == Verdict::kFails) {
+    corollary.id = "Legal Corollary 2.1 (instance)";
+    corollary.verdict = Verdict::kFails;
+    corollary.statement =
+        singling_out.technology +
+        " does not meet the GDPR standard for anonymization (it fails "
+        "singling-out prevention, a necessary condition).";
+  } else {
+    corollary.id = "Anonymization assessment";
+    corollary.verdict = Verdict::kNeedsFurtherAnalysis;
+    corollary.statement =
+        singling_out.technology +
+        " may provide the level of anonymization the GDPR requires; the "
+        "necessary singling-out condition held against all tested "
+        "attackers, but sufficiency requires further (legal and technical) "
+        "analysis.";
+  }
+  return corollary;
+}
+
+}  // namespace pso::legal

@@ -1,0 +1,76 @@
+// "Legal theorems" (Section 2.4): formal claims connecting empirical PSO
+// evidence to the GDPR anonymization standard.
+//
+// The inference chain the paper sets up:
+//   Recital 26: preventing singling out is NECESSARY for data to count as
+//   anonymous. Security against predicate singling out is (by design)
+//   weaker than the GDPR notion, so
+//     fails PSO security  ==>  fails GDPR singling out
+//                        ==>  does not meet the GDPR anonymization standard
+//   while
+//     prevents PSO security ==> further analysis needed (necessary, not
+//     sufficient).
+// This module renders those verdicts from measured game results, keeping
+// the evidence attached so the claim is falsifiable (Section 2.4.3).
+
+#ifndef PSO_LEGAL_VERDICT_H_
+#define PSO_LEGAL_VERDICT_H_
+
+#include <string>
+#include <vector>
+
+#include "pso/game.h"
+
+namespace pso::legal {
+
+/// Conclusion of a legal claim.
+enum class Verdict {
+  kSatisfies,             ///< The technology meets the requirement.
+  kFails,                 ///< The technology provably fails it.
+  kNeedsFurtherAnalysis,  ///< Necessary condition met; sufficiency open.
+};
+
+const char* VerdictName(Verdict v);
+
+/// One piece of empirical evidence bound to a claim.
+struct Evidence {
+  std::string description;  ///< What was measured.
+  double attack_rate = 0.0;
+  double attack_rate_ci_lo = 0.0;
+  double baseline = 0.0;
+  bool demonstrates_failure = false;  ///< CI-separated from the baseline.
+};
+
+/// A formal claim about a technology vs a legal standard.
+struct LegalClaim {
+  std::string id;           ///< e.g. "Legal Theorem 2.1".
+  std::string technology;   ///< e.g. "k-anonymity (Mondrian, k=5)".
+  std::string standard;     ///< e.g. "GDPR Recital 26 singling out".
+  std::string statement;    ///< The claim in words.
+  Verdict verdict = Verdict::kNeedsFurtherAnalysis;
+  std::vector<Evidence> evidence;
+
+  std::string ToString() const;
+};
+
+/// Margin by which an attack rate's CI lower bound must clear the trivial
+/// baseline for the game to count as demonstrating singling out.
+constexpr double kFailureMargin = 0.05;
+
+/// Converts one game result into evidence.
+Evidence EvidenceFromGame(const PsoGameResult& result);
+
+/// Evaluates "technology T prevents singling out as required by the GDPR"
+/// from the games run against T (its best-known adversaries). Any single
+/// successful attacker settles the claim negatively.
+LegalClaim EvaluateSinglingOutClaim(const std::string& technology,
+                                    const std::vector<PsoGameResult>& games);
+
+/// Derives the anonymization-standard corollary from a singling-out claim
+/// (Legal Corollary 2.1: failing a necessary condition fails the
+/// standard).
+LegalClaim DeriveAnonymizationCorollary(const LegalClaim& singling_out);
+
+}  // namespace pso::legal
+
+#endif  // PSO_LEGAL_VERDICT_H_

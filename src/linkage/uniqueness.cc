@@ -1,0 +1,69 @@
+#include "linkage/uniqueness.h"
+
+#include "common/check.h"
+
+namespace pso::linkage {
+
+double UniquenessReport::unique_fraction() const {
+  return records == 0 ? 0.0
+                      : static_cast<double>(unique) /
+                            static_cast<double>(records);
+}
+
+UniquenessReport AnalyzeUniqueness(const Dataset& data,
+                                   const std::vector<size_t>& qi_attrs) {
+  PSO_CHECK(!qi_attrs.empty());
+  Dataset projected = data.Project(qi_attrs);
+  UniquenessReport report;
+  report.records = data.size();
+  for (const auto& group : projected.GroupIdentical()) {
+    ++report.groups;
+    if (group.size() == 1) {
+      ++report.unique;
+    } else if (group.size() <= 5) {
+      report.in_small_groups += group.size();
+    }
+  }
+  return report;
+}
+
+double PartialKnowledgeUniqueness(const Dataset& data, size_t known_attrs,
+                                  size_t trials, Rng& rng) {
+  PSO_CHECK(!data.empty());
+  PSO_CHECK(trials > 0);
+  const size_t num_attrs = data.schema().NumAttributes();
+  size_t unique = 0;
+  for (size_t t = 0; t < trials; ++t) {
+    size_t target = static_cast<size_t>(rng.UniformUint64(data.size()));
+    const Record& r = data.record(target);
+    // Attributes where the target has a nonzero value (movies it rated).
+    std::vector<size_t> nonzero;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if (r[a] != 0) nonzero.push_back(a);
+    }
+    std::vector<size_t> known;
+    if (nonzero.size() <= known_attrs) {
+      known = nonzero;
+    } else {
+      rng.Shuffle(nonzero);
+      known.assign(nonzero.begin(),
+                   nonzero.begin() + static_cast<long>(known_attrs));
+    }
+    if (known.empty()) continue;  // target rated nothing: no knowledge
+    size_t matches = 0;
+    for (const Record& cand : data.records()) {
+      bool all = true;
+      for (size_t a : known) {
+        if (cand[a] != r[a]) {
+          all = false;
+          break;
+        }
+      }
+      if (all && ++matches > 1) break;
+    }
+    if (matches == 1) ++unique;
+  }
+  return static_cast<double>(unique) / static_cast<double>(trials);
+}
+
+}  // namespace pso::linkage

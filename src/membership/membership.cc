@@ -1,0 +1,121 @@
+#include "membership/membership.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pso::membership {
+
+std::vector<double> AggregateFrequencies(const Dataset& pool) {
+  PSO_CHECK(!pool.empty());
+  const size_t d = pool.schema().NumAttributes();
+  std::vector<double> freqs(d, 0.0);
+  for (const Record& r : pool.records()) {
+    for (size_t j = 0; j < d; ++j) {
+      PSO_CHECK_MSG(r[j] == 0 || r[j] == 1, "binary attributes required");
+      freqs[j] += static_cast<double>(r[j]);
+    }
+  }
+  for (double& f : freqs) f /= static_cast<double>(pool.size());
+  return freqs;
+}
+
+std::vector<double> DpAggregateFrequencies(const Dataset& pool,
+                                           double eps_total, Rng& rng) {
+  PSO_CHECK(eps_total > 0.0);
+  std::vector<double> freqs = AggregateFrequencies(pool);
+  const double m = static_cast<double>(pool.size());
+  const double d = static_cast<double>(freqs.size());
+  // One record changes each of the d frequencies by at most 1/m: L1
+  // sensitivity d/m, so Laplace scale (d/m)/eps_total per coordinate.
+  const double scale = d / (m * eps_total);
+  for (double& f : freqs) {
+    f = std::clamp(f + rng.Laplace(scale), 0.0, 1.0);
+  }
+  return freqs;
+}
+
+double MembershipStatistic(const Record& target,
+                           const std::vector<double>& pool_freqs,
+                           const std::vector<double>& reference_freqs) {
+  PSO_CHECK(target.size() == pool_freqs.size());
+  PSO_CHECK(target.size() == reference_freqs.size());
+  double t = 0.0;
+  for (size_t j = 0; j < target.size(); ++j) {
+    double y = static_cast<double>(target[j]);
+    t += std::fabs(y - reference_freqs[j]) - std::fabs(y - pool_freqs[j]);
+  }
+  return t;
+}
+
+MembershipResult RunMembershipExperiment(const Universe& universe,
+                                         const MembershipOptions& options) {
+  PSO_CHECK(options.pool_size >= 2);
+  PSO_CHECK(options.trials > 0);
+  Rng rng(options.seed);
+
+  // Public reference frequencies: the exact marginals of D.
+  const size_t d = universe.schema.NumAttributes();
+  std::vector<double> reference(d);
+  for (size_t j = 0; j < d; ++j) {
+    reference[j] = universe.distribution.marginal(j).Probability(1);
+  }
+
+  std::vector<double> in_stats;
+  std::vector<double> out_stats;
+  in_stats.reserve(options.trials);
+  out_stats.reserve(options.trials);
+  for (size_t t = 0; t < options.trials; ++t) {
+    Dataset pool =
+        universe.distribution.SampleDataset(options.pool_size, rng);
+    std::vector<double> released =
+        options.eps > 0.0
+            ? DpAggregateFrequencies(pool, options.eps, rng)
+            : AggregateFrequencies(pool);
+    size_t member = static_cast<size_t>(rng.UniformUint64(pool.size()));
+    in_stats.push_back(
+        MembershipStatistic(pool.record(member), released, reference));
+    out_stats.push_back(MembershipStatistic(
+        universe.distribution.Sample(rng), released, reference));
+  }
+
+  MembershipResult result;
+  // AUC by pairwise comparison (exact, O(T^2) is fine at these sizes).
+  double wins = 0.0;
+  for (double a : in_stats) {
+    for (double b : out_stats) {
+      if (a > b) {
+        wins += 1.0;
+      } else if (a == b) {
+        wins += 0.5;
+      }
+    }
+  }
+  result.auc = wins / (static_cast<double>(in_stats.size()) *
+                       static_cast<double>(out_stats.size()));
+
+  // Best-threshold advantage: sweep all observed statistics.
+  std::vector<double> thresholds = in_stats;
+  thresholds.insert(thresholds.end(), out_stats.begin(), out_stats.end());
+  std::sort(thresholds.begin(), thresholds.end());
+  for (double thr : thresholds) {
+    double tpr = 0.0;
+    double fpr = 0.0;
+    for (double a : in_stats) tpr += a >= thr ? 1.0 : 0.0;
+    for (double b : out_stats) fpr += b >= thr ? 1.0 : 0.0;
+    tpr /= static_cast<double>(in_stats.size());
+    fpr /= static_cast<double>(out_stats.size());
+    result.advantage = std::max(result.advantage, tpr - fpr);
+  }
+
+  double sum_in = 0.0;
+  for (double a : in_stats) sum_in += a;
+  double sum_out = 0.0;
+  for (double b : out_stats) sum_out += b;
+  result.mean_in = sum_in / static_cast<double>(in_stats.size());
+  result.mean_out = sum_out / static_cast<double>(out_stats.size());
+  return result;
+}
+
+}  // namespace pso::membership

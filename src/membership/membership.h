@@ -1,0 +1,67 @@
+// Membership inference against aggregate statistics (Homer et al. [26],
+// surveyed in Section 1 of the paper): given published per-attribute
+// frequencies of a pool, an attacker holding a target's record infers
+// whether the target was in the pool.
+//
+// Statistic (the Homer/Sankararaman likelihood-ratio form over binary
+// attributes): T(y) = sum_j [ |y_j - ref_j| - |y_j - pool_j| ], where y is
+// the target's record, ref the public reference frequencies, and pool the
+// released aggregate. In-pool targets pull the released frequencies
+// toward themselves, making T positive in expectation; for out-of-pool
+// targets E[T] = 0. The experiment measures the attack's ROC and shows
+// how differentially private aggregates destroy it — the same
+// aggregate-statistics-are-not-anonymous lesson as the reconstruction
+// attacks, in membership form.
+
+#ifndef PSO_MEMBERSHIP_MEMBERSHIP_H_
+#define PSO_MEMBERSHIP_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace pso::membership {
+
+/// Released per-attribute frequencies of a pool (optionally DP).
+std::vector<double> AggregateFrequencies(const Dataset& pool);
+
+/// eps-DP release of the aggregate: each frequency gets Laplace noise of
+/// scale 1/(m * eps) (one individual moves each frequency by at most 1/m;
+/// the per-record L1 sensitivity across all attributes is d/m, so pass
+/// eps_total and the noise is scaled by d internally). Clamped to [0, 1].
+std::vector<double> DpAggregateFrequencies(const Dataset& pool,
+                                           double eps_total, Rng& rng);
+
+/// The Homer-style membership statistic for `target` against the released
+/// `pool_freqs` and public `reference_freqs`.
+double MembershipStatistic(const Record& target,
+                           const std::vector<double>& pool_freqs,
+                           const std::vector<double>& reference_freqs);
+
+/// Experiment configuration.
+struct MembershipOptions {
+  size_t pool_size = 50;
+  size_t trials = 300;       ///< In/out statistic pairs collected.
+  double eps = 0.0;          ///< 0 = exact aggregates, > 0 = eps-DP.
+  uint64_t seed = 0x40e;
+};
+
+/// Outcome: the attack's discriminative power.
+struct MembershipResult {
+  double auc = 0.0;        ///< P[T_in > T_out] (+ 0.5 * ties).
+  double advantage = 0.0;  ///< max over thresholds of TPR - FPR.
+  double mean_in = 0.0;    ///< Mean statistic for members.
+  double mean_out = 0.0;   ///< Mean statistic for non-members.
+};
+
+/// Runs the experiment over `universe` (binary attributes required): per
+/// trial, sample a pool, release (exact or DP) frequencies, score one
+/// member and one non-member.
+MembershipResult RunMembershipExperiment(const Universe& universe,
+                                         const MembershipOptions& options);
+
+}  // namespace pso::membership
+
+#endif  // PSO_MEMBERSHIP_MEMBERSHIP_H_

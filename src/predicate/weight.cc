@@ -1,0 +1,45 @@
+#include "predicate/weight.h"
+
+#include "common/check.h"
+
+namespace pso {
+
+WeightEstimate EstimateWeightMonteCarlo(const Predicate& pred,
+                                        const Distribution& dist, Rng& rng,
+                                        size_t samples) {
+  PSO_CHECK(samples > 0);
+  BernoulliEstimator est;
+  for (size_t i = 0; i < samples; ++i) {
+    est.Add(pred.Eval(dist.Sample(rng)));
+  }
+  WeightEstimate out;
+  out.value = est.rate();
+  out.interval = est.WilsonInterval();
+  out.exact = false;
+  out.samples = samples;
+  return out;
+}
+
+WeightEstimate ComputeWeight(const Predicate& pred, const Distribution& dist,
+                             Rng& rng, size_t samples) {
+  if (const auto* product = dynamic_cast<const ProductDistribution*>(&dist)) {
+    auto exact = pred.ExactWeight(*product);
+    if (exact.has_value()) {
+      WeightEstimate out;
+      out.value = *exact;
+      out.interval = {*exact, *exact};
+      out.exact = true;
+      out.samples = 0;
+      return out;
+    }
+  }
+  return EstimateWeightMonteCarlo(pred, dist, rng, samples);
+}
+
+double NegligibleWeightThreshold(size_t n, double threshold_factor) {
+  PSO_CHECK(n > 0);
+  double nn = static_cast<double>(n);
+  return threshold_factor / (nn * nn);
+}
+
+}  // namespace pso

@@ -1,0 +1,48 @@
+// Predicate weight w_D(p) = Pr_{x~D}[p(x) = 1] (Section 2.2).
+//
+// The PSO game needs the weight of attacker-produced predicates to decide
+// whether an isolation "counts" (only negligible-weight predicates do,
+// Definition 2.4). Exact weights are used when the predicate supports them
+// under a product distribution; otherwise a Monte-Carlo estimate with a
+// Wilson interval is returned.
+
+#ifndef PSO_PREDICATE_WEIGHT_H_
+#define PSO_PREDICATE_WEIGHT_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/distribution.h"
+#include "predicate/predicate.h"
+
+namespace pso {
+
+/// Result of a weight computation.
+struct WeightEstimate {
+  double value = 0.0;      ///< Point estimate of w_D(p).
+  Interval interval;       ///< 95% interval ([value,value] when exact).
+  bool exact = false;      ///< True if analytically computed.
+  size_t samples = 0;      ///< Monte-Carlo sample count (0 when exact).
+};
+
+/// Monte-Carlo estimate of w_D(p) from `samples` fresh draws of D.
+WeightEstimate EstimateWeightMonteCarlo(const Predicate& pred,
+                                        const Distribution& dist, Rng& rng,
+                                        size_t samples);
+
+/// Best-available weight: exact if `pred` supports it under `dist` (when
+/// `dist` is a ProductDistribution), otherwise Monte-Carlo with `samples`.
+WeightEstimate ComputeWeight(const Predicate& pred, const Distribution& dist,
+                             Rng& rng, size_t samples = 100000);
+
+/// The weight threshold below which the PSO game treats a predicate as
+/// "negligible weight" at dataset size n. The paper requires w = negl(n);
+/// at finite n we use the natural scale w <= threshold_factor / n^2,
+/// comfortably below the 1/n weight at which trivial isolation peaks while
+/// remaining reachable by the attacks the paper describes.
+double NegligibleWeightThreshold(size_t n, double threshold_factor = 1.0);
+
+}  // namespace pso
+
+#endif  // PSO_PREDICATE_WEIGHT_H_

@@ -1,0 +1,48 @@
+// Privacy attackers A : Y -> predicates (Section 2.2).
+//
+// Following the paper's modeling choices, an attacker sees the mechanism
+// output and knows the data-generating distribution D and the dataset size
+// n, but has no auxiliary information and never sees x itself.
+
+#ifndef PSO_PSO_ADVERSARY_H_
+#define PSO_PSO_ADVERSARY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "data/distribution.h"
+#include "predicate/predicate.h"
+#include "pso/mechanism.h"
+
+namespace pso {
+
+/// Public knowledge available to an attacker in the PSO game.
+struct AttackContext {
+  const Distribution* dist = nullptr;  ///< The data distribution D.
+  /// Non-null when D is a product distribution (lets attackers compute
+  /// exact marginal masses, as the Theorem 2.10 attack does).
+  const ProductDistribution* product = nullptr;
+  size_t n = 0;              ///< Dataset size.
+  double weight_budget = 0;  ///< The negligibility threshold tau(n) in force.
+};
+
+/// An attacker in the predicate-singling-out game.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Name for reports.
+  virtual std::string Name() const = 0;
+
+  /// Produces a predicate after observing `output`. May return nullptr to
+  /// concede the trial.
+  virtual PredicateRef Attack(const MechanismOutput& output,
+                              const AttackContext& ctx, Rng& rng) const = 0;
+};
+
+using AdversaryRef = std::shared_ptr<const Adversary>;
+
+}  // namespace pso
+
+#endif  // PSO_PSO_ADVERSARY_H_

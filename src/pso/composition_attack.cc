@@ -1,0 +1,149 @@
+#include "pso/composition_attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace pso {
+
+namespace {
+
+constexpr uint64_t kHashRange = 1ULL << 40;
+
+// The "count mechanism" the attacker composes: exact number of records
+// whose hash value lies in [lo, hi). Each call is one M#q invocation with
+// q = MakeHashIntervalPredicate(schema, h, lo, hi).
+size_t CountInInterval(const Dataset& x, const UniversalHash& h, uint64_t lo,
+                       uint64_t hi) {
+  size_t count = 0;
+  for (const Record& r : x.records()) {
+    uint64_t v = h.Eval(x.schema().RecordKey(r));
+    if (v >= lo && v < hi) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::optional<CompositionAttackOutcome> AdaptiveCountAttack(
+    const Dataset& x, double target_weight, size_t max_queries, Rng& rng) {
+  PSO_CHECK(!x.empty());
+  PSO_CHECK(target_weight > 0.0);
+  UniversalHash h(rng, kHashRange);
+
+  uint64_t lo = 0;
+  uint64_t hi = kHashRange;
+  size_t count = x.size();  // known without a query
+  size_t queries = 0;
+
+  while (queries < max_queries) {
+    double weight =
+        static_cast<double>(hi - lo) / static_cast<double>(kHashRange);
+    if (count == 1 && weight <= target_weight) {
+      CompositionAttackOutcome out;
+      out.predicate = MakeHashIntervalPredicate(x.schema(), h, lo, hi);
+      out.count_queries = queries;
+      out.design_weight = weight;
+      return out;
+    }
+    if (hi - lo <= 1) return std::nullopt;  // hash collision, give up
+
+    uint64_t mid = lo + (hi - lo) / 2;
+    size_t left = CountInInterval(x, h, lo, mid);
+    ++queries;
+    size_t right = count - left;
+
+    if (count == 1) {
+      // Track the single record's hash into whichever half holds it.
+      if (left == 1) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+      count = 1;
+      continue;
+    }
+    // Narrow toward an interval that still holds someone, preferring the
+    // smaller non-empty side (reaches count == 1 fastest).
+    if (left == 0) {
+      lo = mid;
+      count = right;
+    } else if (right == 0) {
+      hi = mid;
+      count = left;
+    } else if (left <= right) {
+      hi = mid;
+      count = left;
+    } else {
+      lo = mid;
+      count = right;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CompositionAttackOutcome> BucketCountAttack(
+    const Dataset& x, size_t num_buckets, Rng& rng) {
+  PSO_CHECK(!x.empty());
+  PSO_CHECK(num_buckets >= 2);
+  UniversalHash h(rng, num_buckets);
+
+  // One count mechanism per bucket, all released in a single bundle.
+  std::vector<size_t> counts(num_buckets, 0);
+  for (const Record& r : x.records()) {
+    ++counts[h.Eval(x.schema().RecordKey(r))];
+  }
+  for (uint64_t b = 0; b < num_buckets; ++b) {
+    if (counts[b] == 1) {
+      CompositionAttackOutcome out;
+      out.predicate = MakeHashPredicate(x.schema(), h, b);
+      out.count_queries = num_buckets;
+      out.design_weight = 1.0 / static_cast<double>(num_buckets);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+CompositionGameResult RunCompositionGame(const Distribution& dist, size_t n,
+                                         size_t trials, bool adaptive,
+                                         double weight_threshold,
+                                         size_t max_queries, uint64_t seed) {
+  PSO_CHECK(n > 0 && trials > 0);
+  CompositionGameResult result;
+  result.n = n;
+  result.weight_threshold = weight_threshold;
+  Rng rng(seed);
+
+  // Cap the non-adaptive bucket count: below thresholds of ~1e-7 the
+  // attack needs the adaptive (logarithmic) variant anyway, and an
+  // unbounded ceil(4/threshold) would allocate gigabytes.
+  constexpr size_t kMaxBuckets = 1ULL << 26;
+  size_t num_buckets = static_cast<size_t>(
+      std::min<double>(std::ceil(4.0 / weight_threshold),
+                       static_cast<double>(kMaxBuckets)));
+
+  for (size_t t = 0; t < trials; ++t) {
+    Dataset x = dist.SampleDataset(n, rng);
+    std::optional<CompositionAttackOutcome> attack =
+        adaptive ? AdaptiveCountAttack(x, weight_threshold, max_queries, rng)
+                 : BucketCountAttack(x, num_buckets, rng);
+    if (!attack.has_value()) {
+      result.pso_success.Add(false);
+      continue;
+    }
+    bool isolated = Isolates(*attack->predicate, x);
+    bool light = attack->design_weight <= weight_threshold;
+    result.pso_success.Add(isolated && light);
+    result.queries_used.Add(static_cast<double>(attack->count_queries));
+  }
+
+  double w_star = std::min(weight_threshold, 1.0 / static_cast<double>(n));
+  result.baseline = BaselineIsolationProbability(n, w_star);
+  return result;
+}
+
+}  // namespace pso

@@ -1,0 +1,72 @@
+// Theorem 2.8: composing count mechanisms breaks PSO security.
+//
+// Each count mechanism M#q is individually secure (Theorem 2.5), but an
+// attacker who receives the answers to ~log n well-chosen count queries
+// can "learn sufficiently many bits of a single record so as to isolate it
+// with a predicate of negligible weight" (Section 2.3.2). We implement the
+// bit-learning as a binary search over the range of a public universal
+// hash h: each query counts the records whose hash falls in a half of the
+// current interval, and the interval is narrowed until it (a) contains
+// exactly one record's hash and (b) has design weight below the budget.
+//
+// Two variants are provided:
+//  * Adaptive: ~log2(1/tau) sequential count queries — the ell = omega(log
+//    n) regime of Theorem 2.8 (adaptivity stands in for releasing every
+//    prefix level of the non-adaptive construction).
+//  * Non-adaptive: one bundle of B = ceil(16/tau...) bucket counts
+//    released at once; the attacker picks any singleton bucket. More
+//    mechanisms, zero interaction.
+
+#ifndef PSO_PSO_COMPOSITION_ATTACK_H_
+#define PSO_PSO_COMPOSITION_ATTACK_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/distribution.h"
+#include "predicate/predicate.h"
+
+namespace pso {
+
+/// One successful adaptive attack transcript.
+struct CompositionAttackOutcome {
+  PredicateRef predicate;      ///< The isolating predicate found.
+  size_t count_queries = 0;    ///< Count mechanisms consumed.
+  double design_weight = 0.0;  ///< Interval width / hash range.
+};
+
+/// Runs the adaptive binary-search attack against exact count queries on
+/// `x`. Returns nullopt if the search exhausts `max_queries` or the hash
+/// resolution without isolating (hash collisions; probability ~ n^2/2^40).
+std::optional<CompositionAttackOutcome> AdaptiveCountAttack(
+    const Dataset& x, double target_weight, size_t max_queries, Rng& rng);
+
+/// Non-adaptive variant: hashes records into `num_buckets` buckets, counts
+/// each bucket with one count mechanism, and outputs the predicate of the
+/// first singleton bucket (design weight 1/num_buckets).
+std::optional<CompositionAttackOutcome> BucketCountAttack(
+    const Dataset& x, size_t num_buckets, Rng& rng);
+
+/// Aggregated game result for the composition experiments.
+struct CompositionGameResult {
+  size_t n = 0;
+  double weight_threshold = 0.0;
+  BernoulliEstimator pso_success;  ///< Isolated with weight <= threshold.
+  RunningStats queries_used;
+  double baseline = 0.0;  ///< Trivial-attacker success at the threshold.
+};
+
+/// Plays `trials` rounds: x ~ D^n, attack, verify isolation and weight
+/// (weight verified via the predicate's design weight, which the universal
+/// hash guarantees up to the distribution's min-entropy slack; see
+/// predicate.h). `adaptive` selects the attack variant; non-adaptive uses
+/// num_buckets = ceil(4 / threshold).
+CompositionGameResult RunCompositionGame(const Distribution& dist, size_t n,
+                                         size_t trials, bool adaptive,
+                                         double weight_threshold,
+                                         size_t max_queries, uint64_t seed);
+
+}  // namespace pso
+
+#endif  // PSO_PSO_COMPOSITION_ATTACK_H_

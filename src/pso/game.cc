@@ -1,0 +1,129 @@
+#include "pso/game.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "pso/interactive.h"
+
+namespace pso {
+
+std::string PsoGameResult::Summary() const {
+  Interval ci = pso_success.WilsonInterval();
+  return StrFormat(
+      "%-28s vs %-28s n=%-6zu tau=%.2e  PSO=%.3f [%.3f,%.3f]  "
+      "isolate=%.3f  baseline=%.3f  advantage=%+.3f",
+      mechanism.c_str(), adversary.c_str(), n, weight_threshold,
+      pso_success.rate(), ci.lo, ci.hi, isolation.rate(), baseline,
+      advantage);
+}
+
+PsoGame::PsoGame(const Distribution& dist, size_t n, PsoGameOptions options)
+    : dist_(dist),
+      product_(dynamic_cast<const ProductDistribution*>(&dist)),
+      n_(n),
+      options_(options),
+      threshold_(options.weight_threshold > 0.0
+                     ? options.weight_threshold
+                     : 1.0 / (10.0 * static_cast<double>(n))),
+      rng_(options.seed) {
+  PSO_CHECK(n_ > 0);
+  PSO_CHECK(options_.trials > 0);
+  pool_.reserve(options_.weight_pool);
+  for (size_t i = 0; i < options_.weight_pool; ++i) {
+    pool_.push_back(dist_.Sample(rng_));
+  }
+}
+
+double PsoGame::VerifiedWeightUpperBound(const Predicate& pred) const {
+  if (product_ != nullptr) {
+    auto exact = pred.ExactWeight(*product_);
+    if (exact.has_value()) return *exact;
+  }
+  BernoulliEstimator est;
+  for (const Record& r : pool_) est.Add(pred.Eval(r));
+  return est.WilsonInterval().hi;
+}
+
+PsoGameResult PsoGame::Run(const Mechanism& mechanism,
+                           const Adversary& adversary) {
+  PsoGameResult result;
+  result.mechanism = mechanism.Name();
+  result.adversary = adversary.Name();
+  result.n = n_;
+  result.weight_threshold = threshold_;
+
+  AttackContext ctx;
+  ctx.dist = &dist_;
+  ctx.product = product_;
+  ctx.n = n_;
+  ctx.weight_budget = threshold_;
+
+  for (size_t t = 0; t < options_.trials; ++t) {
+    Dataset x = dist_.SampleDataset(n_, rng_);
+    MechanismOutput y = mechanism.Run(x, rng_);
+    PredicateRef p = adversary.Attack(y, ctx, rng_);
+    if (p == nullptr) {
+      result.isolation.Add(false);
+      result.pso_success.Add(false);
+      result.weight_ok.Add(false);
+      continue;
+    }
+    bool isolated = Isolates(*p, x);
+    double weight = VerifiedWeightUpperBound(*p);
+    bool light = weight <= threshold_;
+    result.isolation.Add(isolated);
+    result.weight_ok.Add(light);
+    result.pso_success.Add(isolated && light);
+    result.weights.Add(weight);
+  }
+
+  // Baseline: the best data-independent predicate of weight <= tau. The
+  // curve n w (1-w)^{n-1} is increasing up to w = 1/n, so for tau <= 1/n
+  // the max is at w = tau.
+  double w_star = std::min(threshold_, 1.0 / static_cast<double>(n_));
+  result.baseline = BaselineIsolationProbability(n_, w_star);
+  result.advantage = result.pso_success.rate() - result.baseline;
+  return result;
+}
+
+PsoGameResult PsoGame::RunInteractive(const InteractiveMechanism& mechanism,
+                                      const InteractiveAdversary& adversary) {
+  PsoGameResult result;
+  result.mechanism = mechanism.Name();
+  result.adversary = adversary.Name();
+  result.n = n_;
+  result.weight_threshold = threshold_;
+
+  AttackContext ctx;
+  ctx.dist = &dist_;
+  ctx.product = product_;
+  ctx.n = n_;
+  ctx.weight_budget = threshold_;
+
+  for (size_t t = 0; t < options_.trials; ++t) {
+    Dataset x = dist_.SampleDataset(n_, rng_);
+    std::unique_ptr<QuerySession> session = mechanism.StartSession(x, rng_);
+    PredicateRef p = adversary.Attack(*session, ctx, rng_);
+    if (p == nullptr) {
+      result.isolation.Add(false);
+      result.pso_success.Add(false);
+      result.weight_ok.Add(false);
+      continue;
+    }
+    bool isolated = Isolates(*p, x);
+    double weight = VerifiedWeightUpperBound(*p);
+    bool light = weight <= threshold_;
+    result.isolation.Add(isolated);
+    result.weight_ok.Add(light);
+    result.pso_success.Add(isolated && light);
+    result.weights.Add(weight);
+  }
+
+  double w_star = std::min(threshold_, 1.0 / static_cast<double>(n_));
+  result.baseline = BaselineIsolationProbability(n_, w_star);
+  result.advantage = result.pso_success.rate() - result.baseline;
+  return result;
+}
+
+}  // namespace pso

@@ -1,0 +1,175 @@
+#include "pso/interactive.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace pso {
+
+namespace {
+
+class ExactCountSession final : public QuerySession {
+ public:
+  explicit ExactCountSession(const Dataset& x) : x_(x) {}
+
+  double AnswerCount(const Predicate& query) override {
+    ++queries_;
+    return static_cast<double>(CountMatches(query, x_));
+  }
+  size_t queries_answered() const override { return queries_; }
+  dp::PrivacyGuarantee PrivacySpent() const override {
+    // Exact answers carry no finite DP guarantee; report infinity.
+    return {std::numeric_limits<double>::infinity(), 0.0};
+  }
+
+ private:
+  const Dataset& x_;
+  size_t queries_ = 0;
+};
+
+class ExactCountSessionMechanism final : public InteractiveMechanism {
+ public:
+  std::string Name() const override { return "Session[M#q exact]"; }
+  std::unique_ptr<QuerySession> StartSession(const Dataset& x,
+                                             Rng&) const override {
+    return std::make_unique<ExactCountSession>(x);
+  }
+};
+
+class LaplaceCountSession final : public QuerySession {
+ public:
+  LaplaceCountSession(const Dataset& x, double eps_per_query,
+                      size_t max_queries, Rng& rng)
+      : x_(x),
+        eps_(eps_per_query),
+        max_queries_(max_queries),
+        rng_(rng.Fork()) {}
+
+  double AnswerCount(const Predicate& query) override {
+    if (max_queries_ > 0 && queries_ >= max_queries_) {
+      return std::numeric_limits<double>::quiet_NaN();  // budget exhausted
+    }
+    ++queries_;
+    accountant_.Spend(eps_);
+    double exact = static_cast<double>(CountMatches(query, x_));
+    return exact + rng_.Laplace(1.0 / eps_);
+  }
+  size_t queries_answered() const override { return queries_; }
+  dp::PrivacyGuarantee PrivacySpent() const override {
+    return accountant_.BestBound(1e-9);
+  }
+
+ private:
+  const Dataset& x_;
+  double eps_;
+  size_t max_queries_;
+  Rng rng_;
+  size_t queries_ = 0;
+  dp::PrivacyAccountant accountant_;
+};
+
+class LaplaceCountSessionMechanism final : public InteractiveMechanism {
+ public:
+  LaplaceCountSessionMechanism(double eps_per_query, size_t max_queries)
+      : eps_(eps_per_query), max_queries_(max_queries) {
+    PSO_CHECK(eps_per_query > 0.0);
+  }
+  std::string Name() const override {
+    return StrFormat("Session[Laplace eps=%.2f/query%s]", eps_,
+                     max_queries_ > 0
+                         ? StrFormat(", budget %zu", max_queries_).c_str()
+                         : "");
+  }
+  std::unique_ptr<QuerySession> StartSession(const Dataset& x,
+                                             Rng& rng) const override {
+    return std::make_unique<LaplaceCountSession>(x, eps_, max_queries_,
+                                                 rng);
+  }
+
+ private:
+  double eps_;
+  size_t max_queries_;
+};
+
+class BinarySearchIsolationAdversary final : public InteractiveAdversary {
+ public:
+  explicit BinarySearchIsolationAdversary(size_t max_queries)
+      : max_queries_(max_queries) {}
+
+  std::string Name() const override {
+    return "BinarySearch(Thm2.8, interactive)";
+  }
+
+  PredicateRef Attack(QuerySession& session, const AttackContext& ctx,
+                      Rng& rng) const override {
+    constexpr uint64_t kRange = 1ULL << 40;
+    const Schema& schema = ctx.dist->schema();
+    UniversalHash h(rng, kRange);
+
+    uint64_t lo = 0;
+    uint64_t hi = kRange;
+    double count = static_cast<double>(ctx.n);  // known a priori
+    size_t used = 0;
+    // Aim well below the budget so the game's conservative Monte-Carlo
+    // weight check clears (same margin the one-shot attackers use).
+    const double target = ctx.weight_budget / 5.0;
+
+    while (used < max_queries_) {
+      double weight =
+          static_cast<double>(hi - lo) / static_cast<double>(kRange);
+      if (std::llround(count) == 1 && weight <= target) {
+        return MakeHashIntervalPredicate(schema, h, lo, hi);
+      }
+      if (hi - lo <= 1) return nullptr;
+
+      uint64_t mid = lo + (hi - lo) / 2;
+      auto left_pred = MakeHashIntervalPredicate(schema, h, lo, mid);
+      double left = session.AnswerCount(*left_pred);
+      ++used;
+      if (std::isnan(left)) return nullptr;  // session refused
+      double right = count - left;
+
+      // Descend toward the smaller nonzero side (noisy answers just make
+      // the descent err; the final predicate is checked by the game).
+      if (left < 0.5) {
+        lo = mid;
+        count = right;
+      } else if (right < 0.5) {
+        hi = mid;
+        count = left;
+      } else if (left <= right) {
+        hi = mid;
+        count = left;
+      } else {
+        lo = mid;
+        count = right;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  size_t max_queries_;
+};
+
+}  // namespace
+
+InteractiveMechanismRef MakeExactCountSessionMechanism() {
+  return std::make_shared<ExactCountSessionMechanism>();
+}
+
+InteractiveMechanismRef MakeLaplaceCountSessionMechanism(
+    double eps_per_query, size_t max_queries) {
+  return std::make_shared<LaplaceCountSessionMechanism>(eps_per_query,
+                                                        max_queries);
+}
+
+InteractiveAdversaryRef MakeBinarySearchIsolationAdversary(
+    size_t max_queries) {
+  return std::make_shared<BinarySearchIsolationAdversary>(max_queries);
+}
+
+}  // namespace pso

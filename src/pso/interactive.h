@@ -1,0 +1,81 @@
+// Interactive mechanisms: analyst-chosen queries answered in a session.
+//
+// Section 1's reconstruction story and Theorem 2.8's composition attack
+// both live in this setting — the analyst adaptively picks count queries
+// q and the mechanism returns (an estimate of) sum_i q(x_i). A session
+// wraps one dataset; the attacker drives it and must finally output an
+// isolating predicate, exactly as in the one-shot game.
+//
+// Two session types bracket the paper's dichotomy:
+//   * ExactCountMechanism   — every answer exact: the Theorem 2.8 attack
+//     singles out after ~log n queries.
+//   * LaplaceCountMechanism — Laplace(1/eps) noise per query; the session
+//     tracks cumulative privacy loss with the accountant, and the noise
+//     derails the binary search (Theorem 2.9 in interactive form).
+
+#ifndef PSO_PSO_INTERACTIVE_H_
+#define PSO_PSO_INTERACTIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "dp/accountant.h"
+#include "pso/adversary.h"
+
+namespace pso {
+
+/// One attacker-driven session against a fixed dataset.
+class QuerySession {
+ public:
+  virtual ~QuerySession() = default;
+
+  /// Answers one count query (one M#q invocation, possibly noisy).
+  virtual double AnswerCount(const Predicate& query) = 0;
+
+  /// Queries answered so far.
+  virtual size_t queries_answered() const = 0;
+
+  /// Cumulative privacy loss of the answers given so far (0 for exact
+  /// sessions, which have no finite guarantee).
+  virtual dp::PrivacyGuarantee PrivacySpent() const = 0;
+};
+
+/// A mechanism that opens query sessions.
+class InteractiveMechanism {
+ public:
+  virtual ~InteractiveMechanism() = default;
+  virtual std::string Name() const = 0;
+  virtual std::unique_ptr<QuerySession> StartSession(const Dataset& x,
+                                                     Rng& rng) const = 0;
+};
+
+using InteractiveMechanismRef = std::shared_ptr<const InteractiveMechanism>;
+
+/// An attacker that drives a session, then outputs a predicate.
+class InteractiveAdversary {
+ public:
+  virtual ~InteractiveAdversary() = default;
+  virtual std::string Name() const = 0;
+  virtual PredicateRef Attack(QuerySession& session,
+                              const AttackContext& ctx, Rng& rng) const = 0;
+};
+
+using InteractiveAdversaryRef = std::shared_ptr<const InteractiveAdversary>;
+
+/// Exact count answers.
+InteractiveMechanismRef MakeExactCountSessionMechanism();
+
+/// Laplace(1/eps_per_query) noise per answer; optional hard query budget
+/// (0 = unlimited) after which the session refuses (returns NaN).
+InteractiveMechanismRef MakeLaplaceCountSessionMechanism(
+    double eps_per_query, size_t max_queries = 0);
+
+/// The Theorem 2.8 attacker as an interactive adversary: binary search on
+/// a public universal hash's range, descending toward a count-1 interval
+/// of design weight below the budget. `max_queries` bounds the search.
+InteractiveAdversaryRef MakeBinarySearchIsolationAdversary(
+    size_t max_queries = 200);
+
+}  // namespace pso
+
+#endif  // PSO_PSO_INTERACTIVE_H_

@@ -1,0 +1,307 @@
+#include "pso/mechanisms.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/str_util.h"
+#include "dp/mechanisms.h"
+
+namespace pso {
+
+namespace {
+
+class IdentityMechanism final : public Mechanism {
+ public:
+  std::string Name() const override { return "Identity"; }
+  MechanismOutput Run(const Dataset& input, Rng&) const override {
+    return MechanismOutput::Of(input);
+  }
+};
+
+class CountMechanism final : public Mechanism {
+ public:
+  CountMechanism(PredicateRef q, std::string query_name)
+      : q_(std::move(q)), query_name_(std::move(query_name)) {
+    PSO_CHECK(q_ != nullptr);
+  }
+  std::string Name() const override { return "M#" + query_name_; }
+  MechanismOutput Run(const Dataset& input, Rng&) const override {
+    return MechanismOutput::Of(
+        static_cast<double>(CountMatches(*q_, input)));
+  }
+
+ private:
+  PredicateRef q_;
+  std::string query_name_;
+};
+
+class LaplaceCountMechanism final : public Mechanism {
+ public:
+  LaplaceCountMechanism(PredicateRef q, std::string query_name, double eps)
+      : q_(std::move(q)), query_name_(std::move(query_name)), eps_(eps) {
+    PSO_CHECK(q_ != nullptr);
+    PSO_CHECK(eps > 0.0);
+  }
+  std::string Name() const override {
+    return StrFormat("Laplace#%s(eps=%.2f)", query_name_.c_str(), eps_);
+  }
+  MechanismOutput Run(const Dataset& input, Rng& rng) const override {
+    return MechanismOutput::Of(dp::LaplaceCount(input, *q_, eps_, rng));
+  }
+
+ private:
+  PredicateRef q_;
+  std::string query_name_;
+  double eps_;
+};
+
+class GeometricCountMechanism final : public Mechanism {
+ public:
+  GeometricCountMechanism(PredicateRef q, std::string query_name, double eps)
+      : q_(std::move(q)), query_name_(std::move(query_name)), eps_(eps) {
+    PSO_CHECK(q_ != nullptr);
+    PSO_CHECK(eps > 0.0);
+  }
+  std::string Name() const override {
+    return StrFormat("Geom#%s(eps=%.2f)", query_name_.c_str(), eps_);
+  }
+  MechanismOutput Run(const Dataset& input, Rng& rng) const override {
+    return MechanismOutput::Of(
+        static_cast<double>(dp::GeometricCount(input, *q_, eps_, rng)));
+  }
+
+ private:
+  PredicateRef q_;
+  std::string query_name_;
+  double eps_;
+};
+
+class NoisyHistogramMechanism final : public Mechanism {
+ public:
+  NoisyHistogramMechanism(size_t attr, double eps)
+      : attr_(attr), eps_(eps) {
+    PSO_CHECK(eps > 0.0);
+  }
+  std::string Name() const override {
+    return StrFormat("NoisyHist[attr %zu](eps=%.2f)", attr_, eps_);
+  }
+  MechanismOutput Run(const Dataset& input, Rng& rng) const override {
+    return MechanismOutput::Of(
+        dp::NoisyHistogram(input, attr_, eps_, rng));
+  }
+
+ private:
+  size_t attr_;
+  double eps_;
+};
+
+class KAnonymityMechanism final : public Mechanism {
+ public:
+  KAnonymityMechanism(KAnonAlgorithm algorithm, size_t k,
+                      kanon::HierarchySet hierarchies,
+                      std::vector<size_t> qi_attrs, size_t l_diversity,
+                      size_t sensitive_attr)
+      : algorithm_(algorithm),
+        k_(k),
+        hierarchies_(std::move(hierarchies)),
+        qi_attrs_(std::move(qi_attrs)),
+        l_diversity_(l_diversity),
+        sensitive_attr_(sensitive_attr) {
+    PSO_CHECK_MSG(l_diversity_ == 0 ||
+                      algorithm_ == KAnonAlgorithm::kMondrian,
+                  "l-diversity enforcement is Mondrian-only");
+  }
+
+  std::string Name() const override {
+    std::string base = StrFormat(
+        "%s(k=%zu)",
+        algorithm_ == KAnonAlgorithm::kDatafly ? "Datafly" : "Mondrian",
+        k_);
+    if (l_diversity_ >= 2) {
+      base += StrFormat("+%zu-diverse", l_diversity_);
+    }
+    return base;
+  }
+
+  MechanismOutput Run(const Dataset& input, Rng&) const override {
+    std::vector<size_t> qi = qi_attrs_;
+    if (qi.empty()) {
+      qi.resize(input.schema().NumAttributes());
+      for (size_t i = 0; i < qi.size(); ++i) qi[i] = i;
+    }
+    if (algorithm_ == KAnonAlgorithm::kDatafly) {
+      kanon::DataflyOptions opts;
+      opts.k = k_;
+      opts.qi_attrs = qi;
+      auto result = kanon::DataflyAnonymize(input, hierarchies_, opts);
+      if (!result.ok()) return MechanismOutput();
+      return MechanismOutput::Of(std::move(result).value());
+    }
+    kanon::MondrianOptions opts;
+    opts.k = k_;
+    opts.qi_attrs = qi;
+    opts.l_diversity = l_diversity_;
+    opts.sensitive_attr = sensitive_attr_;
+    auto result = kanon::MondrianAnonymize(input, hierarchies_, opts);
+    if (!result.ok()) return MechanismOutput();
+    return MechanismOutput::Of(std::move(result).value());
+  }
+
+ private:
+  KAnonAlgorithm algorithm_;
+  size_t k_;
+  kanon::HierarchySet hierarchies_;
+  std::vector<size_t> qi_attrs_;
+  size_t l_diversity_;
+  size_t sensitive_attr_;
+};
+
+class BundleMechanism final : public Mechanism {
+ public:
+  explicit BundleMechanism(std::vector<MechanismRef> mechanisms)
+      : mechanisms_(std::move(mechanisms)) {
+    for (const auto& m : mechanisms_) PSO_CHECK(m != nullptr);
+  }
+  std::string Name() const override {
+    std::vector<std::string> names;
+    names.reserve(mechanisms_.size());
+    for (const auto& m : mechanisms_) names.push_back(m->Name());
+    if (names.size() > 4) {
+      return StrFormat("Bundle[%zu mechanisms]", names.size());
+    }
+    return "(" + Join(names, ", ") + ")";
+  }
+  MechanismOutput Run(const Dataset& input, Rng& rng) const override {
+    std::vector<MechanismOutput> outputs;
+    outputs.reserve(mechanisms_.size());
+    for (const auto& m : mechanisms_) outputs.push_back(m->Run(input, rng));
+    return MechanismOutput::Of(std::move(outputs));
+  }
+
+ private:
+  std::vector<MechanismRef> mechanisms_;
+};
+
+class PostProcessMechanism final : public Mechanism {
+ public:
+  PostProcessMechanism(
+      MechanismRef inner,
+      std::function<MechanismOutput(const MechanismOutput&)> f,
+      std::string name)
+      : inner_(std::move(inner)), f_(std::move(f)), name_(std::move(name)) {
+    PSO_CHECK(inner_ != nullptr);
+    PSO_CHECK(f_ != nullptr);
+  }
+  std::string Name() const override {
+    return name_ + " o " + inner_->Name();
+  }
+  MechanismOutput Run(const Dataset& input, Rng& rng) const override {
+    return f_(inner_->Run(input, rng));
+  }
+
+ private:
+  MechanismRef inner_;
+  std::function<MechanismOutput(const MechanismOutput&)> f_;
+  std::string name_;
+};
+
+class CiphertextMechanism final : public Mechanism {
+ public:
+  std::string Name() const override { return "M1:Ciphertext"; }
+  MechanismOutput Run(const Dataset& input, Rng&) const override {
+    PSO_CHECK(input.size() >= 2);
+    uint64_t key = DerivePadKey(input);
+    const Record& target = input.record(0);
+    std::vector<uint64_t> ciphertext;
+    ciphertext.reserve(target.size());
+    for (size_t a = 0; a < target.size(); ++a) {
+      ciphertext.push_back(
+          static_cast<uint64_t>(PadValue(key, a, target[a])));
+    }
+    return MechanismOutput::Of(std::move(ciphertext));
+  }
+};
+
+class PadMechanism final : public Mechanism {
+ public:
+  std::string Name() const override { return "M2:Pad"; }
+  MechanismOutput Run(const Dataset& input, Rng&) const override {
+    PSO_CHECK(input.size() >= 2);
+    return MechanismOutput::Of(DerivePadKey(input));
+  }
+};
+
+}  // namespace
+
+MechanismRef MakeIdentityMechanism() {
+  return std::make_shared<IdentityMechanism>();
+}
+
+MechanismRef MakeCountMechanism(PredicateRef q, std::string query_name) {
+  return std::make_shared<CountMechanism>(std::move(q),
+                                          std::move(query_name));
+}
+
+MechanismRef MakeLaplaceCountMechanism(PredicateRef q,
+                                       std::string query_name, double eps) {
+  return std::make_shared<LaplaceCountMechanism>(std::move(q),
+                                                 std::move(query_name), eps);
+}
+
+MechanismRef MakeGeometricCountMechanism(PredicateRef q,
+                                         std::string query_name,
+                                         double eps) {
+  return std::make_shared<GeometricCountMechanism>(
+      std::move(q), std::move(query_name), eps);
+}
+
+MechanismRef MakeNoisyHistogramMechanism(size_t attr, double eps) {
+  return std::make_shared<NoisyHistogramMechanism>(attr, eps);
+}
+
+MechanismRef MakeKAnonymityMechanism(KAnonAlgorithm algorithm, size_t k,
+                                     kanon::HierarchySet hierarchies,
+                                     std::vector<size_t> qi_attrs,
+                                     size_t l_diversity,
+                                     size_t sensitive_attr) {
+  return std::make_shared<KAnonymityMechanism>(
+      algorithm, k, std::move(hierarchies), std::move(qi_attrs),
+      l_diversity, sensitive_attr);
+}
+
+MechanismRef MakeBundleMechanism(std::vector<MechanismRef> mechanisms) {
+  return std::make_shared<BundleMechanism>(std::move(mechanisms));
+}
+
+MechanismRef MakePostProcessMechanism(
+    MechanismRef inner,
+    std::function<MechanismOutput(const MechanismOutput&)> f,
+    std::string name) {
+  return std::make_shared<PostProcessMechanism>(std::move(inner),
+                                                std::move(f),
+                                                std::move(name));
+}
+
+MechanismRef MakeCiphertextMechanism() {
+  return std::make_shared<CiphertextMechanism>();
+}
+
+MechanismRef MakePadMechanism() { return std::make_shared<PadMechanism>(); }
+
+uint64_t DerivePadKey(const Dataset& x) {
+  // Deterministic digest of records 2..n; with n-1 high-entropy records
+  // the key is (computationally) unguessable from either release alone.
+  uint64_t key = 0x1234abcd5678ef01ULL;
+  for (size_t i = 1; i < x.size(); ++i) {
+    key = HashCombine(key, x.schema().RecordKey(x.record(i)));
+  }
+  return key;
+}
+
+int64_t PadValue(uint64_t key, size_t position, int64_t value) {
+  uint64_t pad = MixUint64(key ^ (0x9e3779b97f4a7c15ULL * (position + 1)));
+  return static_cast<int64_t>(static_cast<uint64_t>(value) ^ pad);
+}
+
+}  // namespace pso

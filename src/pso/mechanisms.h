@@ -1,0 +1,87 @@
+// The mechanism zoo used by the legal-theorem experiments.
+//
+// Poles and subjects:
+//   IdentityMechanism      — publishes x verbatim (maximally non-private).
+//   CountMechanism         — M#q of Theorem 2.5 (exact count, PSO-secure).
+//   LaplaceCountMechanism  — Theorem 1.3 / Theorem 2.9 (eps-DP).
+//   GeometricCountMechanism / NoisyHistogramMechanism — integer DP outputs.
+//   KAnonymityMechanism    — Datafly or Mondrian release (Theorem 2.10).
+//   BundleMechanism        — composition (M1(x), ..., Mk(x)).
+//   PostProcessMechanism   — f(M(x)) for Theorem 2.6.
+//   CiphertextMechanism / PadMechanism — the explicit incomposability pair
+//     of Theorem 2.7: each alone prevents PSO, the bundle decrypts x_1.
+
+#ifndef PSO_PSO_MECHANISMS_H_
+#define PSO_PSO_MECHANISMS_H_
+
+#include <functional>
+#include <vector>
+
+#include "kanon/datafly.h"
+#include "kanon/mondrian.h"
+#include "pso/mechanism.h"
+#include "predicate/predicate.h"
+
+namespace pso {
+
+/// Publishes the dataset unchanged. Output payload: Dataset.
+MechanismRef MakeIdentityMechanism();
+
+/// M#q: exact count of records satisfying `q`. Output payload: double.
+MechanismRef MakeCountMechanism(PredicateRef q, std::string query_name);
+
+/// Laplace count: M#q + Lap(1/eps). Output payload: double. eps-DP.
+MechanismRef MakeLaplaceCountMechanism(PredicateRef q, std::string query_name,
+                                       double eps);
+
+/// Geometric count: M#q + two-sided geometric. Output payload: double.
+MechanismRef MakeGeometricCountMechanism(PredicateRef q,
+                                         std::string query_name, double eps);
+
+/// eps-DP noisy histogram of `attr`. Output payload:
+/// std::vector<int64_t>.
+MechanismRef MakeNoisyHistogramMechanism(size_t attr, double eps);
+
+/// Which k-anonymizer a KAnonymityMechanism wraps.
+enum class KAnonAlgorithm { kDatafly, kMondrian };
+
+/// k-anonymizes the input. Output payload: kanon::AnonymizationResult
+/// (empty output if the anonymizer fails, e.g. infeasible suppression
+/// budget). `qi_attrs` empty means all attributes are quasi-identifiers.
+/// With l_diversity >= 2 (Mondrian only) the release additionally
+/// enforces l distinct values of `sensitive_attr` per class — footnote 3's
+/// variant, which the PSO attacks break all the same (see E8).
+MechanismRef MakeKAnonymityMechanism(KAnonAlgorithm algorithm, size_t k,
+                                     kanon::HierarchySet hierarchies,
+                                     std::vector<size_t> qi_attrs,
+                                     size_t l_diversity = 0,
+                                     size_t sensitive_attr = 0);
+
+/// Runs every sub-mechanism on the same input. Output payload:
+/// std::vector<MechanismOutput>.
+MechanismRef MakeBundleMechanism(std::vector<MechanismRef> mechanisms);
+
+/// f(M(x)): post-processing wrapper (Theorem 2.6 — if M prevents PSO so
+/// does f o M, since the attacker could compute f itself).
+MechanismRef MakePostProcessMechanism(
+    MechanismRef inner,
+    std::function<MechanismOutput(const MechanismOutput&)> f,
+    std::string name);
+
+/// Theorem 2.7 pair. The pad key is derived deterministically from records
+/// x_2..x_n; CiphertextMechanism publishes x_1 one-time-padded under that
+/// key, PadMechanism publishes the key. Output payloads:
+/// std::vector<uint64_t> (ciphertext) and uint64_t (key).
+MechanismRef MakeCiphertextMechanism();
+MechanismRef MakePadMechanism();
+
+/// The key derivation shared by the Theorem 2.7 pair (exposed for the
+/// decrypting adversary and for tests).
+uint64_t DerivePadKey(const Dataset& x);
+
+/// Encrypts/decrypts one attribute value of x_1 under (key, position).
+int64_t PadValue(uint64_t key, size_t position, int64_t value);
+
+}  // namespace pso
+
+#endif  // PSO_PSO_MECHANISMS_H_

@@ -1,0 +1,50 @@
+// Synthetic-data mechanisms.
+//
+// Section 1.2 asks how legal concepts like linkability apply "when PII is
+// replaced with 'synthetic data'". The PSO game gives one rigorous
+// answer: it depends entirely on *how* the synthetic data was made.
+// Three generators spanning the spectrum:
+//   * Bootstrap   — resamples real records with replacement (the naive
+//     "synthetic" data that is really a copy): fails PSO like the
+//     identity mechanism.
+//   * Marginal    — fits per-attribute empirical marginals and samples
+//     independent records: aggregate-only, but the exact marginals are
+//     still n sensitivity-1 histograms released with no noise.
+//   * DP marginal — fits eps-DP noisy marginals first; the whole release
+//     is eps-DP and inherits Theorem 2.9's protection.
+// Output payload for all three: Dataset (the synthetic records).
+
+#ifndef PSO_PSO_SYNTHETIC_H_
+#define PSO_PSO_SYNTHETIC_H_
+
+#include "pso/adversary.h"
+#include "pso/mechanism.h"
+
+namespace pso {
+
+/// Which synthetic-data generator a SyntheticDataMechanism uses.
+enum class SyntheticMode {
+  kBootstrap,   ///< Resample real records (overfit to the point of copying).
+  kMarginal,    ///< Independent sampling from exact empirical marginals.
+  kDpMarginal,  ///< Independent sampling from eps-DP noisy marginals.
+};
+
+/// Creates a synthetic-data mechanism producing `out_records` records
+/// (0 = as many as the input). `eps` is used only in kDpMarginal mode
+/// (budget split evenly across the attribute histograms' parallel
+/// composition — each record touches one bucket per attribute).
+MechanismRef MakeSyntheticDataMechanism(SyntheticMode mode,
+                                        size_t out_records = 0,
+                                        double eps = 1.0);
+
+/// The matching attacker: looks for a synthetic record that is "too real"
+/// — a record whose probability under the public distribution D is
+/// negligible yet appears in the synthetic output (bootstrap copies
+/// qualify; independent marginal samples almost never hit a specific rare
+/// record of x). Outputs RecordEquals on the rarest synthetic record whose
+/// D-probability is below the weight budget; concedes otherwise.
+AdversaryRef MakeSyntheticCopyAdversary();
+
+}  // namespace pso
+
+#endif  // PSO_PSO_SYNTHETIC_H_

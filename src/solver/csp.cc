@@ -1,0 +1,117 @@
+#include "solver/csp.h"
+
+#include "common/check.h"
+
+namespace pso {
+
+CountCsp::CountCsp(size_t num_vars, size_t domain_size)
+    : num_vars_(num_vars), domain_size_(domain_size) {
+  PSO_CHECK(domain_size_ > 0);
+}
+
+void CountCsp::AddCountConstraint(std::vector<bool> match, int64_t lo,
+                                  int64_t hi) {
+  PSO_CHECK(match.size() == domain_size_);
+  PSO_CHECK(0 <= lo && lo <= hi);
+  constraints_.push_back(Constraint{std::move(match), lo, hi});
+}
+
+std::vector<std::vector<size_t>> CountCsp::Enumerate(size_t max_solutions,
+                                                     size_t max_nodes,
+                                                     CspStats* stats) const {
+  CspStats local;
+  std::vector<std::vector<size_t>> solutions;
+
+  // Candidate filter: a value matching any hi == 0 constraint can never be
+  // used. For census-style instances (exact zero cells for absent ages)
+  // this shrinks the domain by orders of magnitude.
+  std::vector<size_t> candidates;
+  candidates.reserve(domain_size_);
+  for (size_t v = 0; v < domain_size_; ++v) {
+    bool feasible = true;
+    for (const Constraint& c : constraints_) {
+      if (c.match[v] && c.hi == 0) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) candidates.push_back(v);
+  }
+  // Per-candidate list of the constraints it matches (for O(#affected)
+  // incremental updates instead of scanning every constraint per child).
+  std::vector<std::vector<size_t>> affected(candidates.size());
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    for (size_t c = 0; c < constraints_.size(); ++c) {
+      if (constraints_[c].match[candidates[ci]]) affected[ci].push_back(c);
+    }
+  }
+
+  std::vector<size_t> assignment;
+  assignment.reserve(num_vars_);
+  // matched[c]: how many assigned variables currently match constraint c.
+  std::vector<int64_t> matched(constraints_.size(), 0);
+
+  // Recursive search over non-decreasing candidate-index sequences
+  // (symmetry breaking: variables are interchangeable).
+  auto recurse = [&](auto&& self, size_t depth, size_t min_index) -> bool {
+    // Returns false when a global cap fired (abort the whole search).
+    if (local.nodes >= max_nodes) {
+      local.complete = false;
+      return false;
+    }
+    ++local.nodes;
+
+    const int64_t remaining = static_cast<int64_t>(num_vars_ - depth);
+    // Feasibility pruning: the final count for constraint c lies in
+    // [matched, matched + remaining]; a miss of [lo, hi] kills the branch.
+    for (size_t c = 0; c < constraints_.size(); ++c) {
+      if (matched[c] > constraints_[c].hi ||
+          matched[c] + remaining < constraints_[c].lo) {
+        return true;
+      }
+    }
+
+    if (depth == num_vars_) {
+      // All constraints necessarily satisfied (remaining == 0 above).
+      solutions.push_back(assignment);
+      ++local.solutions;
+      return local.solutions < max_solutions;
+    }
+
+    for (size_t ci = min_index; ci < candidates.size(); ++ci) {
+      // Cheap pre-check on just the affected constraints: placing this
+      // value must not overshoot any hi.
+      bool overshoot = false;
+      for (size_t c : affected[ci]) {
+        if (matched[c] + 1 > constraints_[c].hi) {
+          overshoot = true;
+          break;
+        }
+      }
+      if (overshoot) continue;
+
+      assignment.push_back(candidates[ci]);
+      for (size_t c : affected[ci]) ++matched[c];
+      bool keep_going = self(self, depth + 1, ci);
+      for (size_t c : affected[ci]) --matched[c];
+      assignment.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+
+  if (!recurse(recurse, 0, 0) && local.solutions >= max_solutions) {
+    // Stopped because the solution cap was reached: not exhaustive.
+    local.complete = false;
+  }
+  if (stats != nullptr) *stats = local;
+  return solutions;
+}
+
+bool CountCsp::IsSatisfiable(size_t max_nodes) const {
+  CspStats stats;
+  auto sols = Enumerate(1, max_nodes, &stats);
+  return !sols.empty();
+}
+
+}  // namespace pso

@@ -1,0 +1,80 @@
+// Count-constraint CSP solver.
+//
+// This is the engine behind the census-table reconstruction experiment
+// (Section 1's 2010-Decennial narrative, following the Garfinkel–Abowd–
+// Martindale pipeline): a block's published tables become constraints
+// "exactly c of the persons in this block match condition P", and the
+// solver enumerates all person-assignments consistent with every table.
+// A unique solution means the block is reconstructed exactly.
+//
+// Model: `num_vars` interchangeable variables (persons) over one shared
+// abstract domain of `domain_size` values (full attribute combinations).
+// Every constraint counts, over all variables, the values matching a
+// boolean mask, and requires the count to land in [lo, hi] ([c, c] for
+// exact tables; widened intervals encode noisy/DP tables and medians).
+//
+// Variables being interchangeable, the solver breaks permutation symmetry
+// by enumerating non-decreasing value sequences; solutions are multisets.
+
+#ifndef PSO_SOLVER_CSP_H_
+#define PSO_SOLVER_CSP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pso {
+
+/// Statistics from a CSP enumeration.
+struct CspStats {
+  size_t nodes = 0;      ///< Search-tree nodes visited.
+  size_t solutions = 0;  ///< Solutions found (capped by the caller).
+  bool complete = true;  ///< False if a node/solution cap stopped search.
+};
+
+/// Enumerates assignments of interchangeable variables under count
+/// constraints (see file comment).
+class CountCsp {
+ public:
+  /// `num_vars` variables over a shared domain of `domain_size` values.
+  CountCsp(size_t num_vars, size_t domain_size);
+
+  size_t num_vars() const { return num_vars_; }
+  size_t domain_size() const { return domain_size_; }
+
+  /// Requires: #{ vars assigned value v : match[v] } in [lo, hi].
+  /// `match` must have domain_size entries; 0 <= lo <= hi.
+  void AddCountConstraint(std::vector<bool> match, int64_t lo, int64_t hi);
+
+  /// Exact form: count == c.
+  void AddExactCountConstraint(std::vector<bool> match, int64_t c) {
+    AddCountConstraint(std::move(match), c, c);
+  }
+
+  /// Enumerates solutions (each a non-decreasing vector of value indices,
+  /// one per variable). Stops after `max_solutions` solutions or
+  /// `max_nodes` search nodes; `stats` reports whether the search was
+  /// exhaustive.
+  std::vector<std::vector<size_t>> Enumerate(size_t max_solutions,
+                                             size_t max_nodes,
+                                             CspStats* stats) const;
+
+  /// True iff at least one solution exists (bounded by `max_nodes`).
+  bool IsSatisfiable(size_t max_nodes = 1000000) const;
+
+ private:
+  struct Constraint {
+    std::vector<bool> match;
+    int64_t lo;
+    int64_t hi;
+  };
+
+  size_t num_vars_;
+  size_t domain_size_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace pso
+
+#endif  // PSO_SOLVER_CSP_H_

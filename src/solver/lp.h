@@ -1,0 +1,75 @@
+// Dense two-phase primal simplex LP solver.
+//
+// The paper's reproduction band calls for "CBC/Gurobi or SAT solvers"; none
+// are available offline, so libpso ships its own. This solver handles the
+// bounded-variable linear programs produced by LP-decoding reconstruction
+// (Theorem 1.1(ii), Dwork–McSherry–Talwar LP decoding) at the instance
+// sizes our benches use (hundreds of variables/constraints, dense).
+//
+// Model: minimize c^T x subject to per-constraint relations and variable
+// bounds. Internally variables are shifted to x' >= 0, upper bounds become
+// rows, and a two-phase tableau simplex with Bland's rule runs to
+// optimality (Bland guarantees termination).
+
+#ifndef PSO_SOLVER_LP_H_
+#define PSO_SOLVER_LP_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pso {
+
+/// Relation of a linear constraint.
+enum class Relation { kLessEq, kGreaterEq, kEqual };
+
+/// Outcome of an LP solve.
+struct LpSolution {
+  std::vector<double> values;  ///< Optimal variable assignment.
+  double objective = 0.0;      ///< Optimal objective value.
+  size_t iterations = 0;       ///< Simplex pivots performed.
+};
+
+/// A linear program under construction.
+class LpProblem {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  LpProblem() = default;
+
+  /// Adds a variable with bounds [lb, ub] (ub may be kInfinity) and
+  /// objective coefficient `cost`. Returns its index. Requires lb finite
+  /// and lb <= ub.
+  size_t AddVariable(double lb, double ub, double cost);
+
+  /// Adds a constraint sum_i coeffs[i].second * x_{coeffs[i].first}
+  /// `rel` rhs. Variable indices must already exist.
+  void AddConstraint(const std::vector<std::pair<size_t, double>>& coeffs,
+                     Relation rel, double rhs);
+
+  size_t num_variables() const { return lower_.size(); }
+  size_t num_constraints() const { return rows_.size(); }
+
+  /// Solves to optimality. Returns kInfeasible if phase 1 cannot reach a
+  /// feasible basis, kInternal on unboundedness (our decoding LPs are
+  /// always bounded) or iteration-limit exhaustion.
+  Result<LpSolution> Solve() const;
+
+ private:
+  struct Row {
+    std::vector<std::pair<size_t, double>> coeffs;
+    Relation rel;
+    double rhs;
+  };
+
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> cost_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pso
+
+#endif  // PSO_SOLVER_LP_H_

@@ -1,0 +1,251 @@
+#include "solver/sat.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pso {
+
+SatSolver::SatSolver(uint32_t num_vars)
+    : num_vars_(num_vars),
+      watchers_(2 * static_cast<size_t>(num_vars)),
+      values_(num_vars, Assign::kUnset),
+      activity_(num_vars, 0.0) {}
+
+void SatSolver::AddClause(std::vector<Lit> clause) {
+  for (Lit l : clause) PSO_CHECK(LitVar(l) < num_vars_);
+  // Drop duplicates; detect tautologies.
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  for (size_t i = 0; i + 1 < clause.size(); ++i) {
+    if (LitNegate(clause[i]) == clause[i + 1]) return;  // tautology
+  }
+  if (clause.empty()) {
+    trivially_unsat_ = true;
+    return;
+  }
+  size_t idx = clauses_.size();
+  for (Lit l : clause) {
+    // Occurrence list: clauses containing l, visited when ~l is assigned.
+    watchers_[l].push_back(idx);
+    activity_[LitVar(l)] += 1.0;
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+uint32_t SatSolver::NewVariable() {
+  uint32_t v = num_vars_++;
+  values_.push_back(Assign::kUnset);
+  activity_.push_back(0.0);
+  watchers_.emplace_back();
+  watchers_.emplace_back();
+  return v;
+}
+
+void SatSolver::AddAtMostK(const std::vector<Lit>& lits, size_t k) {
+  const size_t n = lits.size();
+  if (k >= n) return;  // vacuous
+  if (k == 0) {
+    for (Lit l : lits) AddUnit(LitNegate(l));
+    return;
+  }
+  // Sinz sequential counter: s[i][j] = "at least j+1 of the first i+1
+  // literals are true".
+  std::vector<std::vector<uint32_t>> s(n, std::vector<uint32_t>(k));
+  for (size_t i = 0; i + 1 < n; ++i) {  // s for the last literal is unused
+    for (size_t j = 0; j < k; ++j) s[i][j] = NewVariable();
+  }
+  // l_0 -> s_0,0 ; s_0,j false for j >= 1.
+  AddBinary(LitNegate(lits[0]), MakeLit(s[0][0], true));
+  for (size_t j = 1; j < k; ++j) AddUnit(MakeLit(s[0][j], false));
+  for (size_t i = 1; i + 1 < n; ++i) {
+    // l_i -> s_i,0 ; s_{i-1},0 -> s_i,0.
+    AddBinary(LitNegate(lits[i]), MakeLit(s[i][0], true));
+    AddBinary(MakeLit(s[i - 1][0], false), MakeLit(s[i][0], true));
+    for (size_t j = 1; j < k; ++j) {
+      // l_i & s_{i-1},{j-1} -> s_i,j ; s_{i-1},j -> s_i,j.
+      AddTernary(LitNegate(lits[i]), MakeLit(s[i - 1][j - 1], false),
+                 MakeLit(s[i][j], true));
+      AddBinary(MakeLit(s[i - 1][j], false), MakeLit(s[i][j], true));
+    }
+    // Overflow: l_i & s_{i-1},{k-1} is a conflict.
+    AddBinary(LitNegate(lits[i]), MakeLit(s[i - 1][k - 1], false));
+  }
+  if (n >= 2) {
+    AddBinary(LitNegate(lits[n - 1]), MakeLit(s[n - 2][k - 1], false));
+  }
+}
+
+void SatSolver::AddAtLeastK(const std::vector<Lit>& lits, size_t k) {
+  if (k == 0) return;
+  PSO_CHECK_MSG(k <= lits.size(), "at-least-k over too few literals");
+  if (k == lits.size()) {
+    for (Lit l : lits) AddUnit(l);
+    return;
+  }
+  std::vector<Lit> negated;
+  negated.reserve(lits.size());
+  for (Lit l : lits) negated.push_back(LitNegate(l));
+  AddAtMostK(negated, lits.size() - k);
+}
+
+void SatSolver::AddExactlyK(const std::vector<Lit>& lits, size_t k) {
+  AddAtMostK(lits, k);
+  AddAtLeastK(lits, k);
+}
+
+void SatSolver::AddAtMostOne(const std::vector<Lit>& lits) {
+  for (size_t i = 0; i < lits.size(); ++i) {
+    for (size_t j = i + 1; j < lits.size(); ++j) {
+      AddBinary(LitNegate(lits[i]), LitNegate(lits[j]));
+    }
+  }
+}
+
+void SatSolver::AddExactlyOne(const std::vector<Lit>& lits) {
+  AddClause(lits);
+  AddAtMostOne(lits);
+}
+
+bool SatSolver::LitIsTrue(Lit l) const {
+  Assign v = values_[LitVar(l)];
+  if (v == Assign::kUnset) return false;
+  return (v == Assign::kTrue) == LitPositive(l);
+}
+
+bool SatSolver::LitIsFalse(Lit l) const {
+  Assign v = values_[LitVar(l)];
+  if (v == Assign::kUnset) return false;
+  return (v == Assign::kTrue) != LitPositive(l);
+}
+
+bool SatSolver::Enqueue(Lit l, std::vector<Lit>& trail) {
+  if (LitIsTrue(l)) return true;
+  if (LitIsFalse(l)) return false;
+  values_[LitVar(l)] = LitPositive(l) ? Assign::kTrue : Assign::kFalse;
+  trail.push_back(l);
+
+  // BFS unit propagation from the newly assigned literal.
+  for (size_t head = trail.size() - 1; head < trail.size(); ++head) {
+    Lit assigned = trail[head];
+    Lit falsified = LitNegate(assigned);
+    for (size_t ci : watchers_[falsified]) {
+      const std::vector<Lit>& clause = clauses_[ci];
+      Lit unit = 0;
+      size_t unassigned = 0;
+      bool satisfied = false;
+      for (Lit cl : clause) {
+        if (LitIsTrue(cl)) {
+          satisfied = true;
+          break;
+        }
+        if (!LitIsFalse(cl)) {
+          ++unassigned;
+          unit = cl;
+          if (unassigned > 1) break;
+        }
+      }
+      if (satisfied || unassigned > 1) continue;
+      if (unassigned == 0) return false;  // conflict
+      ++propagations_;
+      values_[LitVar(unit)] =
+          LitPositive(unit) ? Assign::kTrue : Assign::kFalse;
+      trail.push_back(unit);
+    }
+  }
+  return true;
+}
+
+void SatSolver::Unwind(std::vector<Lit>& trail, size_t keep) {
+  while (trail.size() > keep) {
+    values_[LitVar(trail.back())] = Assign::kUnset;
+    trail.pop_back();
+  }
+}
+
+Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
+  decisions_ = 0;
+  propagations_ = 0;
+  std::fill(values_.begin(), values_.end(), Assign::kUnset);
+
+  SatSolution out;
+  if (trivially_unsat_) {
+    out.satisfiable = false;
+    return out;
+  }
+
+  std::vector<Lit> trail;
+  // Propagate initial unit clauses.
+  for (const auto& clause : clauses_) {
+    if (clause.size() == 1) {
+      if (!Enqueue(clause[0], trail)) {
+        out.satisfiable = false;
+        return out;
+      }
+    }
+  }
+
+  // Iterative DPLL with an explicit decision stack.
+  struct Frame {
+    uint32_t var;
+    bool tried_second;
+    size_t trail_size;
+  };
+  std::vector<Frame> stack;
+
+  auto pick_branch_var = [&]() -> int64_t {
+    int64_t best = -1;
+    double best_act = -1.0;
+    for (uint32_t v = 0; v < num_vars_; ++v) {
+      if (values_[v] == Assign::kUnset && activity_[v] > best_act) {
+        best_act = activity_[v];
+        best = v;
+      }
+    }
+    return best;
+  };
+
+  for (;;) {
+    int64_t v = pick_branch_var();
+    if (v < 0) {
+      // All variables assigned without conflict: satisfiable.
+      out.satisfiable = true;
+      out.assignment.resize(num_vars_);
+      for (uint32_t i = 0; i < num_vars_; ++i) {
+        out.assignment[i] = (values_[i] == Assign::kTrue);
+      }
+      out.decisions = decisions_;
+      out.propagations = propagations_;
+      return out;
+    }
+
+    ++decisions_;
+    if (max_decisions > 0 && decisions_ > max_decisions) {
+      return Status::Internal("SAT decision limit exceeded");
+    }
+
+    stack.push_back(
+        Frame{static_cast<uint32_t>(v), false, trail.size()});
+    bool ok = Enqueue(MakeLit(static_cast<uint32_t>(v), true), trail);
+
+    while (!ok) {
+      // Backtrack to the most recent frame with an untried phase.
+      while (!stack.empty() && stack.back().tried_second) {
+        Unwind(trail, stack.back().trail_size);
+        stack.pop_back();
+      }
+      if (stack.empty()) {
+        out.satisfiable = false;
+        out.decisions = decisions_;
+        out.propagations = propagations_;
+        return out;
+      }
+      Frame& frame = stack.back();
+      Unwind(trail, frame.trail_size);
+      frame.tried_second = true;
+      ok = Enqueue(MakeLit(frame.var, false), trail);
+    }
+  }
+}
+
+}  // namespace pso

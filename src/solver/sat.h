@@ -1,0 +1,101 @@
+// DPLL SAT solver (unit propagation via watched literals, activity-guided
+// branching). A self-contained substrate standing in for the external SAT
+// solvers the census-reconstruction literature links against.
+//
+// Literal encoding: variable v in [0, num_vars), literal = 2*v for the
+// positive phase, 2*v+1 for the negated phase.
+
+#ifndef PSO_SOLVER_SAT_H_
+#define PSO_SOLVER_SAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pso {
+
+/// A literal (see file comment for the encoding).
+using Lit = uint32_t;
+
+/// Makes a literal for variable `var` with the given sign.
+inline Lit MakeLit(uint32_t var, bool positive) {
+  return (var << 1) | (positive ? 0u : 1u);
+}
+inline uint32_t LitVar(Lit l) { return l >> 1; }
+inline bool LitPositive(Lit l) { return (l & 1u) == 0; }
+inline Lit LitNegate(Lit l) { return l ^ 1u; }
+
+/// Result of a SAT solve.
+struct SatSolution {
+  bool satisfiable = false;
+  std::vector<bool> assignment;  ///< Per-variable value when satisfiable.
+  size_t decisions = 0;          ///< Branching decisions explored.
+  size_t propagations = 0;       ///< Unit propagations performed.
+};
+
+/// CNF formula and DPLL search.
+class SatSolver {
+ public:
+  /// Creates a solver over `num_vars` variables.
+  explicit SatSolver(uint32_t num_vars);
+
+  uint32_t num_vars() const { return num_vars_; }
+
+  /// Adds a fresh variable (for encodings needing auxiliaries, e.g. the
+  /// sequential-counter cardinality constraints) and returns its index.
+  uint32_t NewVariable();
+
+  /// Adds a clause (disjunction of literals). An empty clause makes the
+  /// formula trivially unsatisfiable. Duplicate literals are allowed;
+  /// tautological clauses (l and ~l) are dropped.
+  void AddClause(std::vector<Lit> clause);
+
+  /// Convenience for small clauses.
+  void AddUnit(Lit a) { AddClause({a}); }
+  void AddBinary(Lit a, Lit b) { AddClause({a, b}); }
+  void AddTernary(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
+
+  /// Adds clauses enforcing "at most one of `lits` is true" (pairwise).
+  void AddAtMostOne(const std::vector<Lit>& lits);
+
+  /// Adds clauses enforcing "exactly one of `lits` is true".
+  void AddExactlyOne(const std::vector<Lit>& lits);
+
+  /// Adds Sinz's sequential-counter encoding of "at most k of `lits` are
+  /// true" (creates O(|lits| * k) auxiliary variables/clauses). k = 0
+  /// forces all literals false.
+  void AddAtMostK(const std::vector<Lit>& lits, size_t k);
+
+  /// "At least k of `lits` are true" (AtMostK over the negations).
+  void AddAtLeastK(const std::vector<Lit>& lits, size_t k);
+
+  /// "Exactly k of `lits` are true".
+  void AddExactlyK(const std::vector<Lit>& lits, size_t k);
+
+  /// Runs DPLL. `max_decisions` bounds the search (0 = unlimited);
+  /// exceeding it returns an Internal error.
+  Result<SatSolution> Solve(size_t max_decisions = 0);
+
+ private:
+  enum class Assign : int8_t { kUnset = -1, kFalse = 0, kTrue = 1 };
+
+  bool LitIsTrue(Lit l) const;
+  bool LitIsFalse(Lit l) const;
+  // Assigns l true, propagates; returns false on conflict.
+  bool Enqueue(Lit l, std::vector<Lit>& trail);
+  void Unwind(std::vector<Lit>& trail, size_t keep);
+
+  uint32_t num_vars_;
+  bool trivially_unsat_ = false;
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<std::vector<size_t>> watchers_;  // literal -> clause indices
+  std::vector<Assign> values_;
+  std::vector<double> activity_;
+  size_t decisions_ = 0;
+  size_t propagations_ = 0;
+};
+
+}  // namespace pso
+
+#endif  // PSO_SOLVER_SAT_H_

@@ -1,0 +1,191 @@
+// Tests for the census tabulation / reconstruction / re-identification
+// pipeline.
+
+#include <gtest/gtest.h>
+
+#include "census/reidentify.h"
+
+namespace pso::census {
+namespace {
+
+Population SmallPopulation(uint64_t seed, size_t blocks = 20,
+                           size_t min_size = 2, size_t max_size = 7) {
+  PopulationOptions opts;
+  opts.num_blocks = blocks;
+  opts.min_block_size = min_size;
+  opts.max_block_size = max_size;
+  Rng rng(seed);
+  return GeneratePopulation(opts, rng);
+}
+
+TEST(PersonCodecTest, EncodeDecodeRoundTrip) {
+  for (size_t idx = 0; idx < kPersonDomain; idx += 97) {
+    Record r = DecodePerson(idx);
+    EXPECT_EQ(EncodePerson(r), idx);
+  }
+  Record r = {42, 1, 3, 0};  // age 42, M, asian, non-hispanic
+  EXPECT_EQ(DecodePerson(EncodePerson(r)), r);
+}
+
+TEST(PopulationTest, GeneratesRequestedShape) {
+  Population pop = SmallPopulation(1, 15, 3, 9);
+  EXPECT_EQ(pop.blocks.size(), 15u);
+  size_t total = 0;
+  uint64_t last_id = 0;
+  for (const Block& b : pop.blocks) {
+    EXPECT_GE(b.persons.size(), 3u);
+    EXPECT_LE(b.persons.size(), 9u);
+    EXPECT_EQ(b.persons.size(), b.person_ids.size());
+    total += b.persons.size();
+    for (uint64_t id : b.person_ids) {
+      EXPECT_GT(id, last_id);  // ids strictly increasing
+      last_id = id;
+    }
+  }
+  EXPECT_EQ(pop.total_persons, total);
+}
+
+TEST(TabulatorTest, ExactTablesMatchData) {
+  Population pop = SmallPopulation(2, 5);
+  for (const Block& b : pop.blocks) {
+    BlockTables t = Tabulate(b);
+    EXPECT_EQ(t.total, static_cast<int64_t>(b.persons.size()));
+    int64_t age_sum = 0;
+    for (int64_t c : t.by_age) age_sum += c;
+    EXPECT_EQ(age_sum, t.total);
+    int64_t race_sum = 0;
+    for (int64_t c : t.by_race) race_sum += c;
+    EXPECT_EQ(race_sum, t.total);
+    int64_t sexage_sum = 0;
+    for (int64_t c : t.by_sex_age_bucket) sexage_sum += c;
+    EXPECT_EQ(sexage_sum, t.total);
+    EXPECT_EQ(t.noise_slack, 0);
+    ASSERT_TRUE(t.median_age.has_value());
+    // The median must be attained in [0, kMaxAge].
+    EXPECT_GE(*t.median_age, 0);
+    EXPECT_LE(*t.median_age, kMaxAge);
+  }
+}
+
+TEST(TabulatorTest, DpTablesAreNoisyAndSlacked) {
+  Population pop = SmallPopulation(3, 5);
+  Rng rng(4);
+  const Block& b = pop.blocks[0];
+  BlockTables t = TabulateDp(b, /*eps=*/0.5, rng);
+  EXPECT_GT(t.noise_slack, 0);
+  EXPECT_FALSE(t.median_age.has_value());
+  for (int64_t c : t.by_age) EXPECT_GE(c, 0);  // clamped
+}
+
+TEST(ReconstructTest, ExactTablesReconstructSmallBlocksUniquely) {
+  Population pop = SmallPopulation(5, 30, 2, 6);
+  size_t unique_blocks = 0;
+  for (const Block& b : pop.blocks) {
+    BlockTables t = Tabulate(b);
+    BlockReconstruction r = ReconstructBlock(t, b.persons);
+    EXPECT_TRUE(r.exhausted);
+    ASSERT_GE(r.solutions_found, 1u);  // truth is always a solution
+    if (r.unique) {
+      ++unique_blocks;
+      // Unique solution must equal the truth as a multiset.
+      EXPECT_EQ(r.exact_matches, b.persons.size());
+    }
+  }
+  // Small blocks with single-year-of-age tables resolve uniquely most of
+  // the time.
+  EXPECT_GT(unique_blocks, pop.blocks.size() / 2);
+}
+
+TEST(ReconstructTest, TruthIsAlwaysAmongSolutions) {
+  Population pop = SmallPopulation(6, 10, 2, 5);
+  for (const Block& b : pop.blocks) {
+    BlockTables t = Tabulate(b);
+    ReconstructOptions opts;
+    opts.max_solutions = 4096;
+    BlockReconstruction r = ReconstructBlock(t, b.persons, opts);
+    // The ground truth satisfies its own exact tables, so an exhaustive
+    // enumeration must contain it.
+    ASSERT_TRUE(r.exhausted);
+    EXPECT_TRUE(r.truth_found);
+  }
+}
+
+TEST(ReconstructTest, DpTablesDegradeReconstruction) {
+  Population pop = SmallPopulation(7, 12, 3, 6);
+  Rng rng(8);
+  std::vector<BlockTables> exact;
+  std::vector<BlockTables> noisy;
+  for (const Block& b : pop.blocks) {
+    exact.push_back(Tabulate(b));
+    noisy.push_back(TabulateDp(b, /*eps=*/0.25, rng));
+  }
+  ReconstructOptions opts;
+  opts.max_solutions = 16;
+  opts.max_nodes = 200000;
+  ReconstructionReport exact_report =
+      ReconstructPopulation(pop, exact, opts);
+  ReconstructionReport dp_report = ReconstructPopulation(pop, noisy, opts);
+  EXPECT_GT(exact_report.block_unique_fraction(),
+            dp_report.block_unique_fraction());
+  EXPECT_GT(exact_report.person_exact_fraction(),
+            dp_report.person_exact_fraction());
+}
+
+TEST(CommercialTest, CoverageAndErrors) {
+  Population pop = SmallPopulation(9, 40, 3, 8);
+  CommercialOptions opts;
+  opts.coverage = 0.5;
+  opts.age_error_rate = 0.2;
+  Rng rng(10);
+  auto db = SimulateCommercialDatabase(pop, opts, rng);
+  double cov = static_cast<double>(db.size()) /
+               static_cast<double>(pop.total_persons);
+  EXPECT_NEAR(cov, 0.5, 0.1);
+  // Some (but not all) entries should carry age errors.
+  size_t errors = 0;
+  for (const auto& e : db) {
+    const Block& b = pop.blocks[e.block_id];
+    for (size_t i = 0; i < b.person_ids.size(); ++i) {
+      if (b.person_ids[i] == e.person_id &&
+          b.persons.At(i, kAge) != e.age) {
+        ++errors;
+      }
+    }
+  }
+  EXPECT_GT(errors, 0u);
+  EXPECT_LT(errors, db.size());
+}
+
+TEST(ReidentifyTest, ExactReconstructionYieldsHighPrecision) {
+  Population pop = SmallPopulation(11, 40, 2, 6);
+  std::vector<BlockTables> tables;
+  for (const Block& b : pop.blocks) tables.push_back(Tabulate(b));
+  std::vector<BlockReconstruction> recon;
+  ReconstructPopulation(pop, tables, {}, &recon);
+
+  CommercialOptions copts;
+  copts.coverage = 0.7;
+  copts.age_error_rate = 0.05;
+  Rng rng(12);
+  auto db = SimulateCommercialDatabase(pop, copts, rng);
+  ReidentificationReport report = Reidentify(pop, recon, db);
+  EXPECT_GT(report.putative, 0u);
+  EXPECT_GT(report.confirmed, 0u);
+  EXPECT_GT(report.precision(), 0.5);
+  EXPECT_LE(report.confirmed, report.putative);
+  EXPECT_EQ(report.population, pop.total_persons);
+}
+
+TEST(ReidentifyTest, EmptyReconstructionNoClaims) {
+  Population pop = SmallPopulation(13, 5, 2, 4);
+  std::vector<BlockReconstruction> recon(pop.blocks.size());
+  for (size_t i = 0; i < recon.size(); ++i) {
+    recon[i].block_id = pop.blocks[i].id;
+  }
+  ReidentificationReport report = Reidentify(pop, recon, {});
+  EXPECT_EQ(report.putative, 0u);
+  EXPECT_EQ(report.confirmed, 0u);
+}
+
+}  // namespace
+}  // namespace pso::census

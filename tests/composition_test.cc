@@ -1,0 +1,107 @@
+// Tests for the Theorem 2.8 composition attacks on count mechanisms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "pso/composition_attack.h"
+
+namespace pso {
+namespace {
+
+Dataset SampleGic(size_t n, uint64_t seed) {
+  Universe u = MakeGicMedicalUniverse(100);
+  Rng rng(seed);
+  return u.distribution.SampleDataset(n, rng);
+}
+
+TEST(AdaptiveAttackTest, IsolatesWithLogarithmicQueries) {
+  Dataset x = SampleGic(500, 1);
+  Rng rng(2);
+  const double tau = 1.0 / 5000.0;
+  auto attack = AdaptiveCountAttack(x, tau, /*max_queries=*/200, rng);
+  ASSERT_TRUE(attack.has_value());
+  EXPECT_TRUE(Isolates(*attack->predicate, x));
+  EXPECT_LE(attack->design_weight, tau);
+  // ~ log2(1/tau) + small overhead for disambiguating among n records.
+  EXPECT_LE(attack->count_queries,
+            static_cast<size_t>(std::log2(1.0 / tau)) + 25);
+}
+
+TEST(AdaptiveAttackTest, QueryBudgetEnforced) {
+  Dataset x = SampleGic(500, 3);
+  Rng rng(4);
+  auto attack = AdaptiveCountAttack(x, 1e-6, /*max_queries=*/3, rng);
+  EXPECT_FALSE(attack.has_value());
+}
+
+TEST(AdaptiveAttackTest, WorksAtVerySmallTargetWeights) {
+  Dataset x = SampleGic(300, 5);
+  Rng rng(6);
+  // Negligible-in-n^2 scale.
+  const double tau = 1e-8;
+  auto attack = AdaptiveCountAttack(x, tau, 200, rng);
+  ASSERT_TRUE(attack.has_value());
+  EXPECT_TRUE(Isolates(*attack->predicate, x));
+  EXPECT_LE(attack->design_weight, tau);
+}
+
+TEST(BucketAttackTest, SingletonBucketIsolates) {
+  Dataset x = SampleGic(200, 7);
+  Rng rng(8);
+  auto attack = BucketCountAttack(x, /*num_buckets=*/4096, rng);
+  ASSERT_TRUE(attack.has_value());
+  EXPECT_TRUE(Isolates(*attack->predicate, x));
+  EXPECT_DOUBLE_EQ(attack->design_weight, 1.0 / 4096.0);
+  EXPECT_EQ(attack->count_queries, 4096u);
+}
+
+TEST(BucketAttackTest, TooFewBucketsLikelyFails) {
+  // With 2 buckets and 200 records there is never a singleton.
+  Dataset x = SampleGic(200, 9);
+  Rng rng(10);
+  auto attack = BucketCountAttack(x, 2, rng);
+  EXPECT_FALSE(attack.has_value());
+}
+
+// Theorem 2.8 headline: the adaptive composition of individually-secure
+// count mechanisms breaks PSO security almost always.
+TEST(CompositionGameTest, AdaptiveSuccessNearCertain) {
+  Universe u = MakeGicMedicalUniverse(100);
+  auto result = RunCompositionGame(u.distribution, /*n=*/400, /*trials=*/50,
+                                   /*adaptive=*/true,
+                                   /*weight_threshold=*/1.0 / 4000.0,
+                                   /*max_queries=*/200, /*seed=*/11);
+  EXPECT_GT(result.pso_success.rate(), 0.9);
+  // Against a baseline of at most n*tau = 0.1.
+  EXPECT_LT(result.baseline, 0.11);
+  // Mean query count stays logarithmic.
+  EXPECT_LT(result.queries_used.mean(), 40.0);
+}
+
+TEST(CompositionGameTest, NonAdaptiveAlsoSucceeds) {
+  Universe u = MakeGicMedicalUniverse(100);
+  auto result = RunCompositionGame(u.distribution, 300, 40,
+                                   /*adaptive=*/false,
+                                   /*weight_threshold=*/1.0 / 3000.0, 0, 12);
+  EXPECT_GT(result.pso_success.rate(), 0.9);
+}
+
+// Property sweep: success persists as the threshold shrinks (the attack
+// only pays ~1 extra query per halving; the baseline collapses linearly).
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, AdaptiveAttackSurvives) {
+  const double tau = GetParam();
+  Universe u = MakeGicMedicalUniverse(100);
+  auto result = RunCompositionGame(u.distribution, 300, 30, true, tau, 300,
+                                   /*seed=*/13);
+  EXPECT_GT(result.pso_success.rate(), 0.85) << "tau=" << tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, ThresholdSweep,
+                         ::testing::Values(1e-3, 1e-4, 1e-5, 1e-7));
+
+}  // namespace
+}  // namespace pso

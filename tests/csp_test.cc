@@ -1,0 +1,140 @@
+// Tests for the count-constraint CSP solver.
+
+#include <gtest/gtest.h>
+
+#include "solver/csp.h"
+
+namespace pso {
+namespace {
+
+TEST(CspTest, UnconstrainedEnumeratesMultisets) {
+  // 2 variables over 3 values: C(3+2-1, 2) = 6 multisets.
+  CountCsp csp(2, 3);
+  CspStats stats;
+  auto sols = csp.Enumerate(100, 100000, &stats);
+  EXPECT_EQ(sols.size(), 6u);
+  EXPECT_TRUE(stats.complete);
+  for (const auto& s : sols) {
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_LE(s[0], s[1]);  // symmetry-broken: non-decreasing
+  }
+}
+
+TEST(CspTest, ExactCountPinsSolution) {
+  // 3 vars over {0,1}; exactly two 1s -> unique multiset {0,1,1}.
+  CountCsp csp(3, 2);
+  csp.AddExactCountConstraint({false, true}, 2);
+  CspStats stats;
+  auto sols = csp.Enumerate(10, 100000, &stats);
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0], (std::vector<size_t>{0, 1, 1}));
+  EXPECT_TRUE(stats.complete);
+}
+
+TEST(CspTest, MultipleConstraintsIntersect) {
+  // 4 vars over {0,1,2}; exactly one 0, exactly one 1 => {0,1,2,2}.
+  CountCsp csp(4, 3);
+  csp.AddExactCountConstraint({true, false, false}, 1);
+  csp.AddExactCountConstraint({false, true, false}, 1);
+  CspStats stats;
+  auto sols = csp.Enumerate(10, 100000, &stats);
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0], (std::vector<size_t>{0, 1, 2, 2}));
+}
+
+TEST(CspTest, InfeasibleHasNoSolutions) {
+  CountCsp csp(2, 2);
+  csp.AddExactCountConstraint({false, true}, 3);  // need three 1s from two
+  CspStats stats;
+  auto sols = csp.Enumerate(10, 100000, &stats);
+  EXPECT_TRUE(sols.empty());
+  EXPECT_TRUE(stats.complete);
+  EXPECT_FALSE(csp.IsSatisfiable());
+}
+
+TEST(CspTest, IntervalConstraintsWidenSolutionSpace) {
+  CountCsp exact(3, 2);
+  exact.AddExactCountConstraint({false, true}, 1);
+  CountCsp slack(3, 2);
+  slack.AddCountConstraint({false, true}, 0, 2);
+  CspStats s1;
+  CspStats s2;
+  auto e = exact.Enumerate(100, 100000, &s1);
+  auto w = slack.Enumerate(100, 100000, &s2);
+  EXPECT_LT(e.size(), w.size());
+}
+
+TEST(CspTest, SolutionCapReported) {
+  CountCsp csp(3, 4);  // 20 multisets
+  CspStats stats;
+  auto sols = csp.Enumerate(5, 100000, &stats);
+  EXPECT_EQ(sols.size(), 5u);
+  EXPECT_FALSE(stats.complete);
+}
+
+TEST(CspTest, NodeCapReported) {
+  CountCsp csp(6, 6);
+  CspStats stats;
+  csp.Enumerate(100000, 10, &stats);
+  EXPECT_FALSE(stats.complete);
+  EXPECT_LE(stats.nodes, 11u);
+}
+
+TEST(CspTest, PruningCutsSearch) {
+  // A constraint violated at depth 1 should keep node count tiny compared
+  // to the full tree.
+  CountCsp csp(4, 10);
+  csp.AddExactCountConstraint(std::vector<bool>(10, true), 0);  // impossible
+  CspStats stats;
+  auto sols = csp.Enumerate(10, 1000000, &stats);
+  EXPECT_TRUE(sols.empty());
+  EXPECT_LT(stats.nodes, 50u);
+}
+
+TEST(CspTest, SingleVariable) {
+  CountCsp csp(1, 5);
+  csp.AddExactCountConstraint({false, false, false, true, false}, 1);
+  CspStats stats;
+  auto sols = csp.Enumerate(10, 1000, &stats);
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0][0], 3u);
+}
+
+// Property: solutions returned always satisfy every constraint.
+class CspVerifyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CspVerifyTest, SolutionsSatisfyConstraints) {
+  const int seed = GetParam();
+  const size_t vars = 4 + seed % 3;
+  const size_t domain = 5;
+  CountCsp csp(vars, domain);
+  // Deterministic pseudo-random constraints from the seed.
+  std::vector<std::vector<bool>> masks;
+  std::vector<std::pair<int64_t, int64_t>> bounds;
+  for (int c = 0; c < 3; ++c) {
+    std::vector<bool> mask(domain);
+    for (size_t v = 0; v < domain; ++v) {
+      mask[v] = ((seed * 7 + c * 13 + static_cast<int>(v) * 31) % 3) == 0;
+    }
+    int64_t lo = c % 2;
+    int64_t hi = lo + 2;
+    csp.AddCountConstraint(mask, lo, hi);
+    masks.push_back(std::move(mask));
+    bounds.emplace_back(lo, hi);
+  }
+  CspStats stats;
+  auto sols = csp.Enumerate(50, 500000, &stats);
+  for (const auto& sol : sols) {
+    for (size_t c = 0; c < masks.size(); ++c) {
+      int64_t count = 0;
+      for (size_t v : sol) count += masks[c][v] ? 1 : 0;
+      EXPECT_GE(count, bounds[c].first);
+      EXPECT_LE(count, bounds[c].second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CspVerifyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pso

@@ -1,0 +1,81 @@
+// Tests for CSV serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/csv.h"
+
+namespace pso {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Attribute::Integer("age", 0, 99),
+                 Attribute::Categorical("sex", {"F", "M"})});
+}
+
+TEST(CsvTest, RoundTrip) {
+  Schema s = TestSchema();
+  Dataset d(s, {{30, 0}, {45, 1}});
+  std::string csv = DatasetToCsv(d);
+  Result<Dataset> back = DatasetFromCsv(s, csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->record(0), (Record{30, 0}));
+  EXPECT_EQ(back->record(1), (Record{45, 1}));
+}
+
+TEST(CsvTest, HeaderUsesAttributeNames) {
+  Dataset d(TestSchema(), {{30, 0}});
+  std::string csv = DatasetToCsv(d);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "age,sex");
+}
+
+TEST(CsvTest, CategoricalValuesAreLabels) {
+  Dataset d(TestSchema(), {{30, 1}});
+  EXPECT_NE(DatasetToCsv(d).find("30,M"), std::string::npos);
+}
+
+TEST(CsvTest, ColumnReorderingByName) {
+  Schema s = TestSchema();
+  Result<Dataset> d = DatasetFromCsv(s, "sex,age\nF,25\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->record(0), (Record{25, 0}));
+}
+
+TEST(CsvTest, RejectsUnknownColumn) {
+  EXPECT_FALSE(DatasetFromCsv(TestSchema(), "age,height\n30,170\n").ok());
+}
+
+TEST(CsvTest, RejectsOutOfDomainValue) {
+  EXPECT_FALSE(DatasetFromCsv(TestSchema(), "age,sex\n300,F\n").ok());
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(DatasetFromCsv(TestSchema(), "age,sex\n30\n").ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  Result<Dataset> d = DatasetFromCsv(TestSchema(), "age,sex\n30,F\n\n31,M\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Schema s = TestSchema();
+  Dataset d(s, {{20, 1}, {21, 0}});
+  std::string path = ::testing::TempDir() + "/pso_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(d, path).ok());
+  Result<Dataset> back = ReadCsvFile(s, path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->record(1), (Record{21, 0}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  EXPECT_FALSE(ReadCsvFile(TestSchema(), "/nonexistent/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace pso

@@ -1,0 +1,74 @@
+// Tests for the psoctl flag parser.
+
+#include <gtest/gtest.h>
+
+#include "tools/flags.h"
+
+namespace pso::tools {
+namespace {
+
+Flags Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "psoctl");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = Parse({"game", "--n=400", "--eps=1.5"});
+  EXPECT_EQ(f.GetInt("n", 0), 400);
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.0), 1.5);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "game");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = Parse({"census", "--blocks", "25", "--seed", "7"});
+  EXPECT_EQ(f.GetInt("blocks", 0), 25);
+  EXPECT_EQ(f.GetInt("seed", 0), 7);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = Parse({"census", "--dp-median"});
+  EXPECT_TRUE(f.GetBool("dp-median", false));
+  EXPECT_TRUE(f.Has("dp-median"));
+  EXPECT_FALSE(f.Has("eps"));
+}
+
+TEST(FlagsTest, ExplicitFalse) {
+  Flags f = Parse({"x", "--verbose=false", "--quiet=0"});
+  EXPECT_FALSE(f.GetBool("verbose", true));
+  EXPECT_FALSE(f.GetBool("quiet", true));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  Flags f = Parse({"x"});
+  EXPECT_EQ(f.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.5), 0.5);
+  EXPECT_EQ(f.GetString("mechanism", "mondrian"), "mondrian");
+  EXPECT_TRUE(f.GetBool("flag", true));
+}
+
+TEST(FlagsTest, StringValues) {
+  Flags f = Parse({"game", "--mechanism", "laplace", "--adversary=hash"});
+  EXPECT_EQ(f.GetString("mechanism", ""), "laplace");
+  EXPECT_EQ(f.GetString("adversary", ""), "hash");
+}
+
+TEST(FlagsTest, BareFlagBeforeAnotherFlag) {
+  // "--a --b=1": a must not swallow "--b=1" as its value.
+  Flags f = Parse({"x", "--a", "--b=1"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_EQ(f.GetInt("b", 0), 1);
+}
+
+TEST(FlagsTest, MultiplePositionals) {
+  Flags f = Parse({"game", "extra", "--n=1"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+}  // namespace
+}  // namespace pso::tools

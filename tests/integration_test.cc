@@ -1,0 +1,171 @@
+// End-to-end integration tests: miniature versions of the benches, wiring
+// several subsystems together.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "census/reidentify.h"
+#include "data/generators.h"
+#include "legal/report.h"
+#include "pso/adversaries.h"
+#include "pso/composition_attack.h"
+#include "pso/game.h"
+#include "pso/mechanisms.h"
+#include "recon/attacks.h"
+
+namespace pso {
+namespace {
+
+// E8 in miniature: the full Theorem 2.10 story — k-anonymize, attack,
+// conclude the legal theorem.
+TEST(Integration, KAnonymityFailsAndLegalTheoremFollows) {
+  Universe u = MakeGicMedicalUniverse(100);
+  // Every attribute is a potential quasi-identifier (Cohen's setting,
+  // Section 1.1), so class predicates constrain the full record and their
+  // weights are negligible.
+  auto mech = MakeKAnonymityMechanism(
+      KAnonAlgorithm::kMondrian, 5, kanon::HierarchySet::Defaults(u.schema),
+      /*qi_attrs=*/{});
+  PsoGameOptions opts;
+  opts.trials = 120;
+  opts.weight_pool = 50000;
+  PsoGame game(u.distribution, 300, opts);
+
+  auto hash_result = game.Run(*mech, *MakeKAnonHashAdversary());
+  auto min_result = game.Run(*mech, *MakeKAnonMinimalityAdversary());
+
+  // Theorem 2.10 shape: hash attack ~37%, minimality attack higher.
+  EXPECT_GT(hash_result.pso_success.rate(), 0.2);
+  EXPECT_GT(min_result.pso_success.rate(),
+            hash_result.pso_success.rate());
+  EXPECT_GT(min_result.pso_success.rate(), 0.6);
+
+  legal::LegalClaim claim = legal::EvaluateSinglingOutClaim(
+      "k-anonymity (Mondrian, k=5)", {hash_result, min_result});
+  EXPECT_EQ(claim.verdict, legal::Verdict::kFails);
+  legal::LegalClaim corollary = legal::DeriveAnonymizationCorollary(claim);
+  EXPECT_EQ(corollary.verdict, legal::Verdict::kFails);
+}
+
+// Footnote 3: enforcing l-diversity on top of k-anonymity does not stop
+// the PSO attacks — the variants inherit the failure.
+TEST(Integration, LDiverseReleaseStillFalls) {
+  Universe u = MakeGicMedicalUniverse(100);
+  auto mech = MakeKAnonymityMechanism(
+      KAnonAlgorithm::kMondrian, 5, kanon::HierarchySet::Defaults(u.schema),
+      /*qi_attrs=*/{}, /*l_diversity=*/2, /*sensitive_attr=*/4);
+  EXPECT_NE(mech->Name().find("2-diverse"), std::string::npos);
+  PsoGameOptions opts;
+  opts.trials = 80;
+  opts.weight_pool = 50000;
+  PsoGame game(u.distribution, 300, opts);
+  auto result = game.Run(*mech, *MakeKAnonMinimalityAdversary());
+  EXPECT_GT(result.pso_success.rate(), 0.6);
+  EXPECT_GT(result.advantage, 0.4);
+}
+
+// E7 in miniature: DP mechanisms resist the same attacker family
+// (Theorem 2.9's empirical face).
+TEST(Integration, DifferentialPrivacyResists) {
+  Universe u = MakeGicMedicalUniverse(100);
+  auto q = MakeAttributeEquals(3, 0, "sex");
+  PsoGameOptions opts;
+  opts.trials = 150;
+  opts.weight_pool = 50000;
+  PsoGame game(u.distribution, 300, opts);
+
+  for (double eps : {0.5, 1.0}) {
+    auto mech = MakeLaplaceCountMechanism(q, "sex=F", eps);
+    auto result = game.Run(*mech, *MakeTrivialHashAdversary(1.0 / 3000.0));
+    EXPECT_LT(result.pso_success.rate(), result.baseline + 0.07)
+        << result.Summary();
+  }
+}
+
+// E6 in miniature: count mechanisms are individually secure but compose
+// into a near-certain attack (Theorems 2.5 + 2.8 side by side).
+TEST(Integration, CountsSecureAloneBrokenTogether) {
+  Universe u = MakeGicMedicalUniverse(100);
+  const size_t n = 300;
+  const double tau = 1.0 / (10.0 * n);
+
+  // Alone: a single count mechanism resists.
+  auto q = MakeAttributeEquals(3, 0, "sex");
+  PsoGameOptions opts;
+  opts.trials = 100;
+  opts.weight_pool = 40000;
+  PsoGame game(u.distribution, n, opts);
+  auto single = game.Run(*MakeCountMechanism(q, "sex=F"),
+                         *MakeCountTunedAdversary(q, "sex=F"));
+  EXPECT_LT(single.pso_success.rate(), single.baseline + 0.07);
+
+  // Composed (adaptively chosen counts): near-certain PSO.
+  auto composed = RunCompositionGame(u.distribution, n, 40, true, tau, 200,
+                                     /*seed=*/7);
+  EXPECT_GT(composed.pso_success.rate(), 0.9);
+}
+
+// E9 in miniature: census reconstruction + re-identification, with the DP
+// defense flipping the outcome.
+TEST(Integration, CensusReconstructionAndDpDefense) {
+  census::PopulationOptions popts;
+  popts.num_blocks = 25;
+  popts.min_block_size = 2;
+  popts.max_block_size = 7;
+  Rng rng(11);
+  census::Population pop = census::GeneratePopulation(popts, rng);
+
+  std::vector<census::BlockTables> exact;
+  std::vector<census::BlockTables> noisy;
+  for (const auto& b : pop.blocks) {
+    exact.push_back(census::Tabulate(b));
+    noisy.push_back(census::TabulateDp(b, /*eps=*/0.25, rng));
+  }
+  std::vector<census::BlockReconstruction> recon;
+  census::ReconstructionReport exact_report =
+      census::ReconstructPopulation(pop, exact, {}, &recon);
+  census::ReconstructOptions dp_opts;
+  dp_opts.max_solutions = 8;
+  dp_opts.max_nodes = 100000;
+  census::ReconstructionReport dp_report =
+      census::ReconstructPopulation(pop, noisy, dp_opts);
+
+  EXPECT_GT(exact_report.person_exact_fraction(), 0.6);
+  EXPECT_LT(dp_report.person_exact_fraction(),
+            exact_report.person_exact_fraction());
+
+  census::CommercialOptions copts;
+  Rng crng(12);
+  auto db = census::SimulateCommercialDatabase(pop, copts, crng);
+  census::ReidentificationReport reid =
+      census::Reidentify(pop, recon, db);
+  // Confirmed re-identification far above the 0.003% ballpark the Bureau
+  // once assumed.
+  EXPECT_GT(reid.confirmed_rate(), 0.05);
+}
+
+// E1/E2 in miniature: the Fundamental Law — accurate answers enable
+// reconstruction; heavy noise stops it.
+TEST(Integration, FundamentalLawOfInformationRecovery) {
+  Rng rng(13);
+  const size_t n = 48;
+  auto secret = recon::RandomBits(n, rng);
+
+  recon::BoundedNoiseOracle small_noise(secret, 0.2 * std::sqrt((double)n),
+                                        /*seed=*/1);
+  recon::Reconstruction good =
+      recon::LeastSquaresReconstruct(small_noise, 6 * n, rng);
+  recon::BoundedNoiseOracle big_noise(secret, static_cast<double>(n),
+                                      /*seed=*/2);
+  recon::Reconstruction bad =
+      recon::LeastSquaresReconstruct(big_noise, 6 * n, rng);
+
+  double good_acc = recon::FractionAgree(good.estimate, secret);
+  double bad_acc = recon::FractionAgree(bad.estimate, secret);
+  EXPECT_GT(good_acc, 0.9);
+  EXPECT_GT(good_acc, bad_acc);
+}
+
+}  // namespace
+}  // namespace pso

@@ -1,0 +1,188 @@
+// Tests for the k-anonymity attacks (Theorem 2.10, Cohen downcoding, Ganta
+// composition).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kanon/attacks.h"
+#include "kanon/datafly.h"
+#include "kanon/mondrian.h"
+
+namespace pso::kanon {
+namespace {
+
+struct Fixture {
+  Universe universe = MakeGicMedicalUniverse(100);
+  Dataset data;
+  HierarchySet hierarchies;
+  std::vector<size_t> qi = {0, 1, 2, 3};
+
+  explicit Fixture(uint64_t seed, size_t n = 500)
+      : data(SampleData(universe, seed, n)),
+        hierarchies(HierarchySet::Defaults(universe.schema)) {}
+
+  static Dataset SampleData(const Universe& u, uint64_t seed, size_t n) {
+    Rng rng(seed);
+    return u.distribution.SampleDataset(n, rng);
+  }
+
+  AnonymizationResult Mondrian(size_t k) const {
+    MondrianOptions opts;
+    opts.k = k;
+    opts.qi_attrs = qi;
+    auto r = MondrianAnonymize(data, hierarchies, opts);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+};
+
+TEST(ClassPredicateTest, MatchesExactlyClassMembers) {
+  Fixture f(1);
+  AnonymizationResult result = f.Mondrian(5);
+  for (size_t c = 0; c < std::min<size_t>(result.classes.size(), 10); ++c) {
+    auto pred = EquivalenceClassPredicate(result, c);
+    // Every class member satisfies the class predicate.
+    for (size_t i : result.classes[c]) {
+      EXPECT_TRUE(pred->Eval(f.data.record(i)));
+    }
+  }
+}
+
+TEST(HashIsolationTest, PredictedSuccessNearOneOverE) {
+  Fixture f(2);
+  AnonymizationResult result = f.Mondrian(5);
+  Rng rng(3);
+  auto attack = HashIsolationPredicate(result, f.universe.distribution,
+                                       /*weight_budget=*/1e-3, rng);
+  ASSERT_TRUE(attack.has_value());
+  EXPECT_NEAR(attack->predicted_success, std::exp(-1.0), 0.08);
+  EXPECT_LE(attack->predicted_weight, 1e-3);
+}
+
+TEST(HashIsolationTest, EmpiricalSuccessNearOneOverE) {
+  // Over many fresh datasets, the Theorem 2.10 attack isolates ~ 37% of
+  // the time.
+  Universe u = MakeGicMedicalUniverse(100);
+  HierarchySet hs = HierarchySet::Defaults(u.schema);
+  Rng rng(5);
+  int isolated = 0;
+  const int kTrials = 120;
+  for (int t = 0; t < kTrials; ++t) {
+    Dataset data = u.distribution.SampleDataset(300, rng);
+    MondrianOptions opts;
+    opts.k = 5;
+    opts.qi_attrs = {0, 1, 2, 3};
+    auto result = MondrianAnonymize(data, hs, opts);
+    ASSERT_TRUE(result.ok());
+    auto attack =
+        HashIsolationPredicate(*result, u.distribution, 1e-2, rng);
+    ASSERT_TRUE(attack.has_value());
+    if (Isolates(*attack->predicate, data)) ++isolated;
+  }
+  double rate = isolated / static_cast<double>(kTrials);
+  EXPECT_GT(rate, 0.22);
+  EXPECT_LT(rate, 0.55);
+}
+
+TEST(HashIsolationTest, RespectsWeightBudget) {
+  Fixture f(7);
+  AnonymizationResult result = f.Mondrian(5);
+  Rng rng(8);
+  // Impossible budget: no class has weight below 1e-30.
+  auto attack =
+      HashIsolationPredicate(result, f.universe.distribution, 1e-30, rng);
+  EXPECT_FALSE(attack.has_value());
+}
+
+TEST(MinimalityTest, BeatsHashAttack) {
+  // The downcoding/minimality attack on tight-range Mondrian should
+  // predict higher success than 1/e.
+  Fixture f(9);
+  AnonymizationResult result = f.Mondrian(5);
+  auto attack =
+      MinimalityIsolationPredicate(result, f.universe.distribution, 1e-3);
+  ASSERT_TRUE(attack.has_value());
+  EXPECT_GT(attack->predicted_success, 0.6);
+}
+
+TEST(MinimalityTest, EmpiricalSuccessHigh) {
+  Universe u = MakeGicMedicalUniverse(100);
+  HierarchySet hs = HierarchySet::Defaults(u.schema);
+  Rng rng(11);
+  int isolated = 0;
+  const int kTrials = 100;
+  for (int t = 0; t < kTrials; ++t) {
+    Dataset data = u.distribution.SampleDataset(300, rng);
+    MondrianOptions opts;
+    opts.k = 5;
+    opts.qi_attrs = {0, 1, 2, 3};
+    auto result = MondrianAnonymize(data, hs, opts);
+    ASSERT_TRUE(result.ok());
+    auto attack =
+        MinimalityIsolationPredicate(*result, u.distribution, 1e-2);
+    ASSERT_TRUE(attack.has_value());
+    if (Isolates(*attack->predicate, data)) ++isolated;
+  }
+  // Cohen: success approaching 100%; allow sampling slack.
+  EXPECT_GT(isolated / static_cast<double>(kTrials), 0.7);
+}
+
+TEST(MinimalityTest, PredicateWeightIsNegligible) {
+  Fixture f(13, 800);
+  AnonymizationResult result = f.Mondrian(5);
+  auto attack =
+      MinimalityIsolationPredicate(result, f.universe.distribution, 1e-4);
+  if (attack.has_value()) {
+    EXPECT_LE(attack->predicted_weight, 1e-4);
+  }
+}
+
+TEST(IntersectionTest, TwoReleasesLeakMoreThanEither) {
+  // Two independent 3-anonymous releases of the same data (different
+  // algorithms -> different partitions). Intersecting a row's sensitive
+  // candidates across releases pins values a single release never would,
+  // and shrinks the candidate sets for a large fraction of rows — the
+  // composition failure of [23].
+  Fixture f(15, 400);
+  AnonymizationResult a = f.Mondrian(3);
+
+  DataflyOptions dopts;
+  dopts.k = 3;
+  dopts.qi_attrs = f.qi;
+  dopts.max_suppression = 0.1;
+  auto b = DataflyAnonymize(f.data, f.hierarchies, dopts);
+  ASSERT_TRUE(b.ok());
+
+  size_t diagnosis = 4;  // sensitive attribute
+  auto two = IntersectionAttack(f.data, a, *b, diagnosis);
+  auto self = IntersectionAttack(f.data, a, a, diagnosis);
+  EXPECT_EQ(two.rows, 400u);
+  // Composition pins strictly more rows than one release alone, ...
+  EXPECT_GT(two.sensitive_pinned, self.sensitive_pinned);
+  EXPECT_GT(two.pinned_fraction, 0.02);
+  // ... and leaks extra candidates for many rows.
+  EXPECT_GT(two.shrunk_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(self.shrunk_fraction, 0.0);
+}
+
+TEST(IntersectionTest, SameReleaseTwiceOnlyPinsHomogeneousClasses) {
+  Fixture f(17, 300);
+  AnonymizationResult a = f.Mondrian(5);
+  size_t diagnosis = 4;
+  auto twice = IntersectionAttack(f.data, a, a, diagnosis);
+  // Self-intersection pins exactly the rows whose class has one distinct
+  // sensitive value (the l-diversity failure mode), typically few.
+  size_t homogeneous = 0;
+  for (const auto& cls : a.classes) {
+    std::set<int64_t> vals;
+    for (size_t i : cls) vals.insert(f.data.At(i, diagnosis));
+    if (vals.size() == 1) homogeneous += cls.size();
+  }
+  EXPECT_EQ(twice.sensitive_pinned, homogeneous);
+}
+
+}  // namespace
+}  // namespace pso::kanon

@@ -1,0 +1,91 @@
+// Tests for the Homer-style membership-inference module.
+
+#include <gtest/gtest.h>
+
+#include "membership/membership.h"
+
+namespace pso::membership {
+namespace {
+
+TEST(AggregateTest, FrequenciesAreMeans) {
+  Schema s({Attribute::Integer("a", 0, 1), Attribute::Integer("b", 0, 1)});
+  Dataset pool(s, {{1, 0}, {1, 1}, {0, 1}, {1, 0}});
+  auto freqs = AggregateFrequencies(pool);
+  ASSERT_EQ(freqs.size(), 2u);
+  EXPECT_DOUBLE_EQ(freqs[0], 0.75);
+  EXPECT_DOUBLE_EQ(freqs[1], 0.5);
+}
+
+TEST(AggregateTest, DpFrequenciesClampedAndNoisy) {
+  Schema s({Attribute::Integer("a", 0, 1)});
+  Dataset pool{s};
+  for (int i = 0; i < 20; ++i) pool.Append({1});
+  Rng rng(1);
+  bool saw_below_one = false;
+  for (int i = 0; i < 50; ++i) {
+    auto freqs = DpAggregateFrequencies(pool, /*eps=*/0.5, rng);
+    EXPECT_GE(freqs[0], 0.0);
+    EXPECT_LE(freqs[0], 1.0);
+    if (freqs[0] < 1.0) saw_below_one = true;
+  }
+  EXPECT_TRUE(saw_below_one);  // noise actually applied
+}
+
+TEST(StatisticTest, MemberPullsStatisticPositive) {
+  // Pool frequencies identical to the target, references far away: the
+  // statistic must be positive; reversed, negative.
+  Record target = {1, 1, 0, 0};
+  std::vector<double> pool = {0.9, 0.9, 0.1, 0.1};   // close to target
+  std::vector<double> ref = {0.5, 0.5, 0.5, 0.5};    // far
+  EXPECT_GT(MembershipStatistic(target, pool, ref), 0.0);
+  EXPECT_LT(MembershipStatistic(target, ref, pool), 0.0);
+}
+
+TEST(ExperimentTest, ExactAggregatesLeakMembership) {
+  Universe u = MakeGenotypeUniverse(300, /*freq_seed=*/42);
+  MembershipOptions opts;
+  opts.pool_size = 40;
+  opts.trials = 150;
+  MembershipResult r = RunMembershipExperiment(u, opts);
+  // Homer et al.: many attributes vs a small pool => near-perfect
+  // separation.
+  EXPECT_GT(r.auc, 0.95);
+  EXPECT_GT(r.advantage, 0.75);
+  EXPECT_GT(r.mean_in, r.mean_out);
+}
+
+TEST(ExperimentTest, FewAttributesWeakAttack) {
+  Universe u = MakeGenotypeUniverse(10, 43);
+  MembershipOptions opts;
+  opts.pool_size = 200;
+  opts.trials = 150;
+  MembershipResult r = RunMembershipExperiment(u, opts);
+  EXPECT_LT(r.auc, 0.8);  // 10 attributes vs pool of 200: weak signal
+}
+
+TEST(ExperimentTest, DpAggregatesNeutralizeTheAttack) {
+  Universe u = MakeGenotypeUniverse(300, 44);
+  MembershipOptions exact;
+  exact.pool_size = 40;
+  exact.trials = 120;
+  MembershipOptions dp = exact;
+  dp.eps = 1.0;
+  MembershipResult r_exact = RunMembershipExperiment(u, exact);
+  MembershipResult r_dp = RunMembershipExperiment(u, dp);
+  EXPECT_GT(r_exact.auc, r_dp.auc + 0.2);
+  EXPECT_LT(r_dp.auc, 0.75);
+}
+
+TEST(ExperimentTest, DeterministicGivenSeed) {
+  Universe u = MakeGenotypeUniverse(100, 45);
+  MembershipOptions opts;
+  opts.pool_size = 30;
+  opts.trials = 50;
+  MembershipResult a = RunMembershipExperiment(u, opts);
+  MembershipResult b = RunMembershipExperiment(u, opts);
+  EXPECT_DOUBLE_EQ(a.auc, b.auc);
+  EXPECT_DOUBLE_EQ(a.advantage, b.advantage);
+}
+
+}  // namespace
+}  // namespace pso::membership

@@ -1,0 +1,189 @@
+// Tests for the DPLL SAT solver.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solver/sat.h"
+
+namespace pso {
+namespace {
+
+TEST(SatTest, LiteralEncoding) {
+  Lit pos = MakeLit(3, true);
+  Lit neg = MakeLit(3, false);
+  EXPECT_EQ(LitVar(pos), 3u);
+  EXPECT_TRUE(LitPositive(pos));
+  EXPECT_FALSE(LitPositive(neg));
+  EXPECT_EQ(LitNegate(pos), neg);
+  EXPECT_EQ(LitNegate(neg), pos);
+}
+
+TEST(SatTest, TrivialSat) {
+  SatSolver s(1);
+  s.AddUnit(MakeLit(0, true));
+  auto sol = s.Solve();
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->satisfiable);
+  EXPECT_TRUE(sol->assignment[0]);
+}
+
+TEST(SatTest, TrivialUnsat) {
+  SatSolver s(1);
+  s.AddUnit(MakeLit(0, true));
+  s.AddUnit(MakeLit(0, false));
+  auto sol = s.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->satisfiable);
+}
+
+TEST(SatTest, EmptyClauseIsUnsat) {
+  SatSolver s(2);
+  s.AddClause({});
+  auto sol = s.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->satisfiable);
+}
+
+TEST(SatTest, EmptyFormulaIsSat) {
+  SatSolver s(3);
+  auto sol = s.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->satisfiable);
+}
+
+TEST(SatTest, TautologicalClauseDropped) {
+  SatSolver s(1);
+  s.AddBinary(MakeLit(0, true), MakeLit(0, false));  // x or ~x
+  s.AddUnit(MakeLit(0, false));
+  auto sol = s.Solve();
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->satisfiable);
+  EXPECT_FALSE(sol->assignment[0]);
+}
+
+TEST(SatTest, ImplicationChainPropagates) {
+  // x0 and (x0 -> x1) and (x1 -> x2) ... forces all true.
+  const uint32_t n = 20;
+  SatSolver s(n);
+  s.AddUnit(MakeLit(0, true));
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    s.AddBinary(MakeLit(i, false), MakeLit(i + 1, true));
+  }
+  auto sol = s.Solve();
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->satisfiable);
+  for (uint32_t i = 0; i < n; ++i) EXPECT_TRUE(sol->assignment[i]);
+}
+
+TEST(SatTest, ExactlyOneConstraint) {
+  SatSolver s(4);
+  std::vector<Lit> lits;
+  for (uint32_t v = 0; v < 4; ++v) lits.push_back(MakeLit(v, true));
+  s.AddExactlyOne(lits);
+  auto sol = s.Solve();
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->satisfiable);
+  int trues = 0;
+  for (bool b : sol->assignment) trues += b ? 1 : 0;
+  EXPECT_EQ(trues, 1);
+}
+
+TEST(SatTest, PigeonholeUnsat) {
+  // 4 pigeons into 3 holes: var p*3+h means pigeon p in hole h.
+  const uint32_t pigeons = 4;
+  const uint32_t holes = 3;
+  SatSolver s(pigeons * holes);
+  for (uint32_t p = 0; p < pigeons; ++p) {
+    std::vector<Lit> somewhere;
+    for (uint32_t h = 0; h < holes; ++h) {
+      somewhere.push_back(MakeLit(p * holes + h, true));
+    }
+    s.AddClause(somewhere);
+  }
+  for (uint32_t h = 0; h < holes; ++h) {
+    for (uint32_t p1 = 0; p1 < pigeons; ++p1) {
+      for (uint32_t p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.AddBinary(MakeLit(p1 * holes + h, false),
+                    MakeLit(p2 * holes + h, false));
+      }
+    }
+  }
+  auto sol = s.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->satisfiable);
+}
+
+TEST(SatTest, DecisionLimitReported) {
+  // Hard pigeonhole with a tiny decision budget must error out.
+  const uint32_t pigeons = 9;
+  const uint32_t holes = 8;
+  SatSolver s(pigeons * holes);
+  for (uint32_t p = 0; p < pigeons; ++p) {
+    std::vector<Lit> somewhere;
+    for (uint32_t h = 0; h < holes; ++h) {
+      somewhere.push_back(MakeLit(p * holes + h, true));
+    }
+    s.AddClause(somewhere);
+  }
+  for (uint32_t h = 0; h < holes; ++h) {
+    for (uint32_t p1 = 0; p1 < pigeons; ++p1) {
+      for (uint32_t p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.AddBinary(MakeLit(p1 * holes + h, false),
+                    MakeLit(p2 * holes + h, false));
+      }
+    }
+  }
+  auto sol = s.Solve(/*max_decisions=*/5);
+  EXPECT_FALSE(sol.ok());
+}
+
+// Property: on random satisfiable 3-SAT (planted solution), the solver
+// must find some satisfying assignment, and it must actually satisfy every
+// clause.
+class SatRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandomTest, PlantedInstanceSolvedAndVerified) {
+  Rng rng(500 + GetParam());
+  const uint32_t n = 30;
+  const size_t m = 100;
+  std::vector<bool> planted(n);
+  for (uint32_t v = 0; v < n; ++v) planted[v] = rng.Bernoulli(0.5);
+
+  SatSolver s(n);
+  std::vector<std::vector<Lit>> clauses;
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<Lit> clause;
+    bool satisfied_by_planted = false;
+    for (int k = 0; k < 3; ++k) {
+      uint32_t v = static_cast<uint32_t>(rng.UniformUint64(n));
+      bool sign = rng.Bernoulli(0.5);
+      clause.push_back(MakeLit(v, sign));
+      if (planted[v] == sign) satisfied_by_planted = true;
+    }
+    if (!satisfied_by_planted) {
+      // Flip one literal to agree with the planted assignment.
+      uint32_t v = LitVar(clause[0]);
+      clause[0] = MakeLit(v, planted[v]);
+    }
+    s.AddClause(clause);
+    clauses.push_back(std::move(clause));
+  }
+  auto sol = s.Solve();
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->satisfiable);
+  for (const auto& clause : clauses) {
+    bool ok = false;
+    for (Lit l : clause) {
+      if (sol->assignment[LitVar(l)] == LitPositive(l)) {
+        ok = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace pso

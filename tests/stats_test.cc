@@ -1,0 +1,143 @@
+// Tests for statistics utilities and the baseline isolation curve of
+// Section 2.2.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace pso {
+namespace {
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleObservationHasZeroVariance) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(BernoulliEstimatorTest, RateAndBatch) {
+  BernoulliEstimator e;
+  e.Add(true);
+  e.Add(false);
+  e.AddBatch(3, 8);
+  EXPECT_EQ(e.trials(), 10u);
+  EXPECT_EQ(e.successes(), 4u);
+  EXPECT_DOUBLE_EQ(e.rate(), 0.4);
+}
+
+TEST(BernoulliEstimatorTest, WilsonIntervalContainsRate) {
+  BernoulliEstimator e;
+  e.AddBatch(30, 100);
+  Interval ci = e.WilsonInterval();
+  EXPECT_TRUE(ci.Contains(0.3));
+  EXPECT_GT(ci.lo, 0.2);
+  EXPECT_LT(ci.hi, 0.42);
+}
+
+TEST(BernoulliEstimatorTest, WilsonAtZeroSuccesses) {
+  BernoulliEstimator e;
+  e.AddBatch(0, 1000);
+  Interval ci = e.WilsonInterval();
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_LT(ci.hi, 0.005);  // informative even with 0 hits
+  EXPECT_GT(ci.hi, 0.0);
+}
+
+TEST(BernoulliEstimatorTest, WilsonShrinksWithTrials) {
+  BernoulliEstimator small;
+  small.AddBatch(5, 10);
+  BernoulliEstimator large;
+  large.AddBatch(500, 1000);
+  EXPECT_LT(large.WilsonInterval().hi - large.WilsonInterval().lo,
+            small.WilsonInterval().hi - small.WilsonInterval().lo);
+}
+
+TEST(BernoulliEstimatorTest, NoTrialsGivesVacuousInterval) {
+  BernoulliEstimator e;
+  Interval ci = e.WilsonInterval();
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+// Section 2.2: a weight-1/n predicate isolates with probability
+// n * (1/n) * (1 - 1/n)^{n-1} -> 1/e ~ 37%; the paper computes ~37% for
+// the birthday example with n = 365.
+TEST(BaselineIsolationTest, BirthdayExampleIs37Percent) {
+  double p = BaselineIsolationProbability(365, 1.0 / 365.0);
+  EXPECT_NEAR(p, 0.3688, 5e-4);
+}
+
+TEST(BaselineIsolationTest, PeaksAtOneOverN) {
+  const size_t n = 1000;
+  double at_peak = BaselineIsolationProbability(n, 1.0 / n);
+  EXPECT_GT(at_peak, BaselineIsolationProbability(n, 0.2 / n));
+  EXPECT_GT(at_peak, BaselineIsolationProbability(n, 5.0 / n));
+  EXPECT_NEAR(at_peak, std::exp(-1.0), 0.01);
+}
+
+TEST(BaselineIsolationTest, NegligibleWeightGivesNegligibleSuccess) {
+  const size_t n = 1000;
+  // At w = 1/n^2 the success is ~ 1/n.
+  double p = BaselineIsolationProbability(n, 1.0 / (1000.0 * 1000.0));
+  EXPECT_NEAR(p, 1e-3, 1e-4);
+  // And it decays linearly with w below the peak.
+  EXPECT_NEAR(BaselineIsolationProbability(n, 1e-8), 1e-5, 1e-6);
+}
+
+TEST(BaselineIsolationTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(BaselineIsolationProbability(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BaselineIsolationProbability(10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BaselineIsolationProbability(10, 1.0), 0.0);
+}
+
+// Heavy-weight predicates also fail to isolate (the "w = omega(log n / n)"
+// side of the paper's dichotomy).
+TEST(BaselineIsolationTest, HeavyPredicatesFailToo) {
+  const size_t n = 1000;
+  double heavy = BaselineIsolationProbability(n, 50.0 / n);
+  EXPECT_LT(heavy, 1e-15);
+}
+
+TEST(QuantileTest, MedianAndInterpolation) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 0.9), 5.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+// Property sweep: Wilson interval coverage across rates.
+class WilsonCoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WilsonCoverageTest, IntervalBracketsTruthInExpectation) {
+  double p = GetParam();
+  // With k = round(p * n) observed, the interval must contain p.
+  const size_t n = 400;
+  BernoulliEstimator e;
+  e.AddBatch(static_cast<size_t>(p * n), n);
+  EXPECT_TRUE(e.WilsonInterval().Contains(p))
+      << "p=" << p << " not in interval";
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, WilsonCoverageTest,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.25, 0.5, 0.75,
+                                           0.99, 1.0));
+
+}  // namespace
+}  // namespace pso

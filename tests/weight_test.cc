@@ -1,0 +1,68 @@
+// Tests for weight computation (Definition 2.4's w_D(p)).
+
+#include <gtest/gtest.h>
+
+#include "predicate/weight.h"
+
+namespace pso {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Attribute::Integer("a", 0, 9),
+                 Attribute::Integer("b", 0, 9)});
+}
+
+TEST(WeightTest, ExactPathForDecomposablePredicates) {
+  auto d = ProductDistribution::UniformOver(TestSchema());
+  Rng rng(1);
+  auto p = MakeAnd({MakeAttributeEquals(0, 3), MakeAttributeEquals(1, 7)});
+  WeightEstimate w = ComputeWeight(*p, d, rng);
+  EXPECT_TRUE(w.exact);
+  EXPECT_DOUBLE_EQ(w.value, 0.01);
+  EXPECT_EQ(w.samples, 0u);
+  EXPECT_DOUBLE_EQ(w.interval.lo, w.interval.hi);
+}
+
+TEST(WeightTest, MonteCarloPathForHashPredicates) {
+  // A large domain so the hash's realized weight concentrates at the
+  // design weight (on a tiny domain the per-key assignment fluctuates).
+  Schema s({Attribute::Integer("a", 0, 9999),
+            Attribute::Integer("b", 0, 9999)});
+  auto d = ProductDistribution::UniformOver(s);
+  Rng rng(2);
+  UniversalHash h(rng, 20);
+  auto p = MakeHashPredicate(s, h, 0);
+  WeightEstimate w = ComputeWeight(*p, d, rng, 50000);
+  EXPECT_FALSE(w.exact);
+  EXPECT_EQ(w.samples, 50000u);
+  EXPECT_NEAR(w.value, 0.05, 0.01);
+  EXPECT_TRUE(w.interval.Contains(w.value));
+  EXPECT_LT(w.interval.lo, w.interval.hi);
+}
+
+TEST(WeightTest, MonteCarloConsistentWithExact) {
+  Schema s = TestSchema();
+  auto d = ProductDistribution::UniformOver(s);
+  Rng rng(3);
+  auto p = MakeAttributeRange(0, 0, 4);
+  WeightEstimate mc = EstimateWeightMonteCarlo(*p, d, rng, 100000);
+  EXPECT_NEAR(mc.value, 0.5, 0.01);
+  EXPECT_TRUE(mc.interval.Contains(0.5));
+}
+
+TEST(WeightTest, NegligibleThresholdScalesInverseSquare) {
+  EXPECT_DOUBLE_EQ(NegligibleWeightThreshold(10), 0.01);
+  EXPECT_DOUBLE_EQ(NegligibleWeightThreshold(100), 1e-4);
+  EXPECT_DOUBLE_EQ(NegligibleWeightThreshold(100, 2.0), 2e-4);
+}
+
+TEST(WeightTest, ZeroWeightPredicate) {
+  auto d = ProductDistribution::UniformOver(TestSchema());
+  Rng rng(4);
+  WeightEstimate w = ComputeWeight(*MakeFalse(), d, rng);
+  EXPECT_TRUE(w.exact);
+  EXPECT_DOUBLE_EQ(w.value, 0.0);
+}
+
+}  // namespace
+}  // namespace pso

@@ -1,0 +1,70 @@
+// Minimal command-line flag parsing for the psoctl tool.
+
+#ifndef PSO_TOOLS_FLAGS_H_
+#define PSO_TOOLS_FLAGS_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pso::tools {
+
+/// Parses "--key=value" / "--key value" / bare positional arguments.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string key = arg.substr(2);
+        std::string value = "true";
+        size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+          value = key.substr(eq + 1);
+          key = key.substr(0, eq);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) !=
+                                       0) {
+          value = argv[++i];
+        }
+        values_[key] = value;
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pso::tools
+
+#endif  // PSO_TOOLS_FLAGS_H_

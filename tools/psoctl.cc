@@ -1,0 +1,289 @@
+// psoctl — command-line front-end for libpso's experiments.
+//
+//   psoctl game    --mechanism {mondrian,datafly,count,laplace,geometric,
+//                               identity,pair} --adversary {hash,minimality,
+//                               trivial,counttuned,unique,decrypt}
+//                  [--n 400] [--k 5] [--eps 1.0] [--trials 100]
+//                  [--tau 0] [--seed 1]
+//   psoctl census  [--blocks 50] [--min-size 2] [--max-size 8] [--eps 0]
+//                  [--dp-median] [--seed 1]
+//   psoctl linkage [--n 10000] [--coverage 0.75] [--k 0] [--seed 1]
+//   psoctl recon   [--n 64] [--queries 320] [--alpha 2.0]
+//                  [--decoder {lp,lsq,exhaustive}] [--seed 1]
+//   psoctl audit   [--eps 1.0] [--trials 300000] [--seed 1]
+//   psoctl membership [--attrs 300] [--pool 50] [--eps 0] [--trials 200]
+//
+// Every run is deterministic given --seed.
+
+#include <cstdio>
+#include <string>
+#include <cmath>
+
+#include "census/reidentify.h"
+#include "common/str_util.h"
+#include "common/table.h"
+#include "data/generators.h"
+#include "dp/audit.h"
+#include "dp/mechanisms.h"
+#include "kanon/datafly.h"
+#include "legal/verdict.h"
+#include "linkage/join_attack.h"
+#include "membership/membership.h"
+#include "pso/adversaries.h"
+#include "pso/game.h"
+#include "pso/mechanisms.h"
+#include "recon/attacks.h"
+#include "tools/flags.h"
+
+namespace pso::tools {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: psoctl {game|census|linkage|recon|audit|membership} "
+      "[--flags]\n  (see the header of tools/psoctl.cc for the full flag "
+      "list)\n");
+  return 2;
+}
+
+int RunGame(const Flags& flags) {
+  Universe u = MakeGicMedicalUniverse();
+  if (flags.GetInt("n", 400) < 2 || flags.GetInt("trials", 100) < 1 ||
+      flags.GetInt("k", 5) < 1 || flags.GetDouble("eps", 1.0) <= 0.0) {
+    std::fprintf(stderr,
+                 "invalid flags: need --n >= 2, --trials >= 1, --k >= 1, "
+                 "--eps > 0\n");
+    return 2;
+  }
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 400));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
+  const double eps = flags.GetDouble("eps", 1.0);
+  auto q = MakeAttributeEquals(3, 0, "sex");
+
+  std::string mech_name = flags.GetString("mechanism", "mondrian");
+  MechanismRef mech;
+  if (mech_name == "mondrian" || mech_name == "datafly") {
+    mech = MakeKAnonymityMechanism(
+        mech_name == "mondrian" ? KAnonAlgorithm::kMondrian
+                                : KAnonAlgorithm::kDatafly,
+        k, kanon::HierarchySet::Defaults(u.schema), {});
+  } else if (mech_name == "count") {
+    mech = MakeCountMechanism(q, "sex=F");
+  } else if (mech_name == "laplace") {
+    mech = MakeLaplaceCountMechanism(q, "sex=F", eps);
+  } else if (mech_name == "geometric") {
+    mech = MakeGeometricCountMechanism(q, "sex=F", eps);
+  } else if (mech_name == "identity") {
+    mech = MakeIdentityMechanism();
+  } else if (mech_name == "pair") {
+    mech = MakeBundleMechanism(
+        {MakeCiphertextMechanism(), MakePadMechanism()});
+  } else {
+    std::fprintf(stderr, "unknown mechanism '%s'\n", mech_name.c_str());
+    return 2;
+  }
+
+  std::string adv_name = flags.GetString("adversary", "minimality");
+  AdversaryRef adv;
+  if (adv_name == "hash") {
+    adv = MakeKAnonHashAdversary();
+  } else if (adv_name == "minimality") {
+    adv = MakeKAnonMinimalityAdversary();
+  } else if (adv_name == "trivial") {
+    adv = MakeTrivialHashAdversary(1.0 / (10.0 * static_cast<double>(n)));
+  } else if (adv_name == "counttuned") {
+    adv = MakeCountTunedAdversary(q, "sex=F");
+  } else if (adv_name == "unique") {
+    adv = MakeUniqueRecordAdversary();
+  } else if (adv_name == "decrypt") {
+    adv = MakeDecryptPairAdversary();
+  } else {
+    std::fprintf(stderr, "unknown adversary '%s'\n", adv_name.c_str());
+    return 2;
+  }
+
+  PsoGameOptions opts;
+  opts.trials = static_cast<size_t>(flags.GetInt("trials", 100));
+  opts.weight_threshold = flags.GetDouble("tau", 0.0);
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  PsoGame game(u.distribution, n, opts);
+  PsoGameResult result = game.Run(*mech, *adv);
+  std::printf("%s\n", result.Summary().c_str());
+
+  legal::LegalClaim claim =
+      legal::EvaluateSinglingOutClaim(mech->Name(), {result});
+  std::printf("\n%s", claim.ToString().c_str());
+  return 0;
+}
+
+int RunCensus(const Flags& flags) {
+  if (flags.GetInt("blocks", 50) < 1 || flags.GetInt("min-size", 2) < 1 ||
+      flags.GetInt("max-size", 8) < flags.GetInt("min-size", 2)) {
+    std::fprintf(stderr,
+                 "invalid flags: need --blocks >= 1 and 1 <= --min-size <= "
+                 "--max-size\n");
+    return 2;
+  }
+  census::PopulationOptions popts;
+  popts.num_blocks = static_cast<size_t>(flags.GetInt("blocks", 50));
+  popts.min_block_size = static_cast<size_t>(flags.GetInt("min-size", 2));
+  popts.max_block_size = static_cast<size_t>(flags.GetInt("max-size", 8));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  census::Population pop = census::GeneratePopulation(popts, rng);
+
+  const double eps = flags.GetDouble("eps", 0.0);
+  std::vector<census::BlockTables> tables;
+  for (const auto& b : pop.blocks) {
+    tables.push_back(eps > 0.0
+                         ? census::TabulateDp(b, eps, rng,
+                                              flags.GetBool("dp-median",
+                                                            false))
+                         : census::Tabulate(b));
+  }
+  std::vector<census::BlockReconstruction> per_block;
+  census::ReconstructionReport recon =
+      census::ReconstructPopulation(pop, tables, {}, &per_block);
+  census::CommercialOptions copts;
+  auto commercial = census::SimulateCommercialDatabase(pop, copts, rng);
+  census::ReidentificationReport reid =
+      census::Reidentify(pop, per_block, commercial);
+
+  TextTable table({"metric", "value"});
+  table.AddRow({"persons", StrFormat("%zu", pop.total_persons)});
+  table.AddRow({"tables", eps > 0.0 ? StrFormat("DP (eps=%.2f)", eps)
+                                    : "exact"});
+  table.AddRow({"blocks solved exactly",
+                StrFormat("%.1f%%", 100.0 * recon.block_unique_fraction())});
+  table.AddRow({"persons reconstructed exactly",
+                StrFormat("%.1f%%", 100.0 * recon.person_exact_fraction())});
+  table.AddRow({"putative re-identifications",
+                StrFormat("%.2f%%", 100.0 * reid.putative_rate())});
+  table.AddRow({"confirmed re-identifications",
+                StrFormat("%.2f%%", 100.0 * reid.confirmed_rate())});
+  table.Print();
+  return 0;
+}
+
+int RunLinkage(const Flags& flags) {
+  Universe u = MakeGicMedicalUniverse(200);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  linkage::IdentifiedPopulation pop = linkage::SamplePopulation(
+      u, static_cast<size_t>(flags.GetInt("n", 10000)), rng);
+  std::vector<size_t> qi = {0, 1, 2, 3};
+  auto voters = linkage::BuildVoterFile(
+      pop, qi, flags.GetDouble("coverage", 0.75), rng);
+
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 0));
+  linkage::LinkageReport report;
+  if (k >= 2) {
+    kanon::DataflyOptions dopts;
+    dopts.k = k;
+    dopts.qi_attrs = qi;
+    dopts.max_suppression = 0.05;
+    auto anon = kanon::DataflyAnonymize(
+        pop.records, kanon::HierarchySet::Defaults(u.schema), dopts);
+    if (!anon.ok()) {
+      std::fprintf(stderr, "anonymization failed: %s\n",
+                   anon.status().ToString().c_str());
+      return 1;
+    }
+    report =
+        linkage::JoinAttackGeneralized(pop, anon->generalized, voters, qi);
+  } else {
+    report = linkage::JoinAttack(pop, voters, qi);
+  }
+  std::printf(
+      "release=%s  records=%zu  voters=%zu  claims=%zu  confirmed=%zu "
+      "(%.2f%% of the population)\n",
+      k >= 2 ? StrFormat("%zu-anonymous", k).c_str() : "raw",
+      report.released_records, report.voter_entries, report.claims,
+      report.confirmed, 100.0 * report.confirmed_rate());
+  return 0;
+}
+
+int RunRecon(const Flags& flags) {
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 64));
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 320));
+  const double alpha = flags.GetDouble("alpha", 2.0);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  auto secret = recon::RandomBits(n, rng);
+  recon::BoundedNoiseOracle oracle(secret, alpha, 17);
+
+  std::string decoder = flags.GetString("decoder", "lsq");
+  recon::Reconstruction result;
+  if (decoder == "lp") {
+    auto r = recon::LpReconstruct(oracle, queries, rng);
+    if (!r.ok()) {
+      std::fprintf(stderr, "LP failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(r).value();
+  } else if (decoder == "lsq") {
+    result = recon::LeastSquaresReconstruct(oracle, queries, rng);
+  } else if (decoder == "exhaustive") {
+    result = recon::ExhaustiveReconstruct(oracle, alpha);
+  } else {
+    std::fprintf(stderr, "unknown decoder '%s'\n", decoder.c_str());
+    return 2;
+  }
+  std::printf("n=%zu queries=%zu alpha=%.2f decoder=%s -> accuracy %.3f\n",
+              n, result.queries_used, alpha, decoder.c_str(),
+              recon::FractionAgree(result.estimate, secret));
+  return 0;
+}
+
+int RunAudit(const Flags& flags) {
+  const double eps = flags.GetDouble("eps", 1.0);
+  const size_t trials = static_cast<size_t>(flags.GetInt("trials", 300000));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  dp::BucketizedMechanism mech = [eps](int which, Rng& r) {
+    double count = which == 0 ? 10.0 : 11.0;
+    return static_cast<int64_t>(
+        std::llround((count + r.Laplace(1.0 / eps)) * 2.0));
+  };
+  dp::AuditResult audit = dp::AuditPrivacyLoss(mech, trials, rng, 2000);
+  std::printf(
+      "Laplace count, declared eps=%.3f: measured eps-hat=%.3f over %zu "
+      "buckets (%zu trials per input)\n",
+      eps, audit.empirical_eps, audit.buckets_compared,
+      audit.trials_per_input);
+  return 0;
+}
+
+int RunMembership(const Flags& flags) {
+  Universe u = MakeGenotypeUniverse(flags.GetInt("attrs", 300),
+                                    /*freq_seed=*/0x6e0);
+  membership::MembershipOptions opts;
+  opts.pool_size = static_cast<size_t>(flags.GetInt("pool", 50));
+  opts.trials = static_cast<size_t>(flags.GetInt("trials", 200));
+  opts.eps = flags.GetDouble("eps", 0.0);
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  membership::MembershipResult r =
+      membership::RunMembershipExperiment(u, opts);
+  std::printf(
+      "attrs=%lld pool=%zu eps=%s -> AUC=%.3f advantage=%.3f "
+      "E[T|in]=%.2f E[T|out]=%.2f\n",
+      (long long)flags.GetInt("attrs", 300), opts.pool_size,
+      opts.eps > 0 ? StrFormat("%.2f", opts.eps).c_str() : "exact", r.auc,
+      r.advantage, r.mean_in, r.mean_out);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "game") return RunGame(flags);
+  if (command == "census") return RunCensus(flags);
+  if (command == "linkage") return RunLinkage(flags);
+  if (command == "recon") return RunRecon(flags);
+  if (command == "audit") return RunAudit(flags);
+  if (command == "membership") return RunMembership(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace pso::tools
+
+int main(int argc, char** argv) { return pso::tools::Main(argc, argv); }
