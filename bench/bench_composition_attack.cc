@@ -19,11 +19,14 @@
 #include "pso/game.h"
 #include "pso/interactive.h"
 #include "pso/mechanisms.h"
+#include "tools/flags.h"
 
 namespace pso {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
       "E6: PSO security is not closed under composition (Thms 2.7, 2.8)",
       "individually secure mechanisms compose into a near-certain "
@@ -39,6 +42,7 @@ int Run() {
   PsoGameOptions opts;
   opts.trials = 150;
   opts.weight_pool = 60000;
+  opts.pool = par.get();
   PsoGame game(u.distribution, n, opts);
   auto decrypt = MakeDecryptPairAdversary();
   double alone_worst = 0.0;
@@ -102,6 +106,7 @@ int Run() {
   PsoGameOptions sopts;
   sopts.trials = 60;
   sopts.weight_pool = 60000;
+  sopts.pool = par.get();
   PsoGame session_game(u.distribution, n, sopts);
   auto searcher = MakeBinarySearchIsolationAdversary(200);
   double exact_session_rate = 0.0;
@@ -124,6 +129,25 @@ int Run() {
   }
   session_table.Print();
 
+  // Wall-clock comparison on one representative configuration (the
+  // interactive exact-count session game).
+  {
+    PsoGameOptions t_opts;
+    t_opts.trials = 60;
+    t_opts.weight_pool = 60000;
+    bench::WallTimer timer;
+    PsoGame serial_game(u.distribution, n, t_opts);
+    serial_game.RunInteractive(*MakeExactCountSessionMechanism(), *searcher);
+    double serial_s = timer.Seconds();
+    t_opts.pool = par.get();
+    timer.Reset();
+    PsoGame parallel_game(u.distribution, n, t_opts);
+    parallel_game.RunInteractive(*MakeExactCountSessionMechanism(),
+                                 *searcher);
+    bench::ReportSpeedup("interactive count sessions, 60 trials", serial_s,
+                         timer.Seconds(), par.threads);
+  }
+
   bench::ShapeChecks checks;
   checks.CheckBetween(alone_worst, 0.0, 0.05,
                       "each Thm 2.7 mechanism alone is PSO-secure");
@@ -145,4 +169,4 @@ int Run() {
 }  // namespace
 }  // namespace pso
 
-int main() { return pso::Run(); }
+int main(int argc, char** argv) { return pso::Run(argc, argv); }

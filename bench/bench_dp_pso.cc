@@ -13,11 +13,14 @@
 #include "pso/adversaries.h"
 #include "pso/game.h"
 #include "pso/mechanisms.h"
+#include "tools/flags.h"
 
 namespace pso {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
       "E7: differential privacy prevents PSO (Theorem 2.9)",
       "for constant eps, no attacker singles out under an eps-DP "
@@ -30,6 +33,7 @@ int Run() {
   PsoGameOptions opts;
   opts.trials = 220;
   opts.weight_pool = 60000;
+  opts.pool = par.get();
   PsoGame game(u.distribution, n, opts);
 
   TextTable table({"mechanism", "adversary", "PSO rate", "baseline",
@@ -71,6 +75,25 @@ int Run() {
       "private yet also prevents PSO (E5) — DP is sufficient, not "
       "necessary.\n");
 
+  // Wall-clock comparison on one representative configuration.
+  {
+    PsoGameOptions t_opts;
+    t_opts.trials = 220;
+    t_opts.weight_pool = 60000;
+    auto t_mech = MakeLaplaceCountMechanism(q, "sex=F", 1.0);
+    auto t_adv = MakeCountTunedAdversary(q, "sex=F");
+    bench::WallTimer timer;
+    PsoGame serial_game(u.distribution, n, t_opts);
+    serial_game.Run(*t_mech, *t_adv);
+    double serial_s = timer.Seconds();
+    t_opts.pool = par.get();
+    timer.Reset();
+    PsoGame parallel_game(u.distribution, n, t_opts);
+    parallel_game.Run(*t_mech, *t_adv);
+    bench::ReportSpeedup("Laplace-count PSO game, 220 trials", serial_s,
+                         timer.Seconds(), par.threads);
+  }
+
   bench::ShapeChecks checks;
   checks.CheckBetween(dp_worst_advantage, -1.0, 0.05,
                       "no attacker gains advantage against any DP release");
@@ -82,4 +105,4 @@ int Run() {
 }  // namespace
 }  // namespace pso
 
-int main() { return pso::Run(); }
+int main(int argc, char** argv) { return pso::Run(argc, argv); }

@@ -24,16 +24,19 @@
 #include "pso/adversaries.h"
 #include "pso/game.h"
 #include "pso/mechanisms.h"
+#include "tools/flags.h"
 
 namespace pso {
 namespace {
 
 PsoGameResult RunGame(const Universe& u, size_t n, size_t k,
-                      const AdversaryRef& adv, size_t trials) {
+                      const AdversaryRef& adv, size_t trials,
+                      ThreadPool* pool = nullptr) {
   PsoGameOptions opts;
   opts.trials = trials;
   opts.weight_pool = 150000;
   opts.seed = 0xE8 + k + n;
+  opts.pool = pool;
   PsoGame game(u.distribution, n, opts);
   auto mech = MakeKAnonymityMechanism(
       KAnonAlgorithm::kMondrian, k, kanon::HierarchySet::Defaults(u.schema),
@@ -41,7 +44,9 @@ PsoGameResult RunGame(const Universe& u, size_t n, size_t k,
   return game.Run(*mech, *adv);
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
       "E8: k-anonymity fails to prevent PSO (Theorem 2.10 + Cohen [12])",
       "hash attack isolates ~37% (~1/e); downcoding/minimality attack on "
@@ -63,7 +68,7 @@ int Run() {
          {MakeKAnonHashAdversary(), MakeKAnonMinimalityAdversary()}) {
       bool is_hash = adv->Name().find("Hash") != std::string::npos;
       if (is_hash && k > 5) continue;  // covered by the ablation below
-      auto r = RunGame(gic, n, k, adv, 100);
+      auto r = RunGame(gic, n, k, adv, 100, par.get());
       table.AddRow({"GIC(d=8)", StrFormat("%zu", k), StrFormat("%zu", n),
                     r.adversary, StrFormat("%.4f", r.pso_success.rate()),
                     StrFormat("%.4f", r.pso_success.WilsonInterval().lo),
@@ -87,7 +92,7 @@ int Run() {
   Universe ratings = MakeRatingsUniverse(96, 0.06);
   for (size_t k : {5, 10, 25}) {
     const size_t n = 80 * k;
-    auto r = RunGame(ratings, n, k, MakeKAnonHashAdversary(), 60);
+    auto r = RunGame(ratings, n, k, MakeKAnonHashAdversary(), 60, par.get());
     dim_table.AddRow({"Ratings(d=96)", StrFormat("%zu", k),
                       StrFormat("%zu", n),
                       StrFormat("%.4f", r.pso_success.rate()),
@@ -96,7 +101,7 @@ int Run() {
     if (k == 10) highdim_at_10 = r.pso_success.rate();
   }
   // The low-dimension contrast at k = 10.
-  auto low = RunGame(gic, 800, 10, MakeKAnonHashAdversary(), 60);
+  auto low = RunGame(gic, 800, 10, MakeKAnonHashAdversary(), 60, par.get());
   dim_table.AddRow({"GIC(d=8)", "10", "800",
                     StrFormat("%.4f", low.pso_success.rate()),
                     StrFormat("%.4f", low.baseline),
@@ -153,6 +158,18 @@ int Run() {
           ? kanon::TClosenessValue(sample, mondrian->classes, diagnosis)
           : 1.0);
 
+  // Wall-clock comparison on one representative configuration.
+  {
+    auto adv = MakeKAnonMinimalityAdversary();
+    bench::WallTimer timer;
+    RunGame(gic, 400, 5, adv, 100);
+    double serial_s = timer.Seconds();
+    timer.Reset();
+    RunGame(gic, 400, 5, adv, 100, par.get());
+    bench::ReportSpeedup("Mondrian(k=5) game, n=400 x 100 trials", serial_s,
+                         timer.Seconds(), par.threads);
+  }
+
   bench::ShapeChecks checks;
   checks.CheckBetween(hash_at_5, 0.22, 0.50,
                       "hash attack on Mondrian(k=5) isolates ~37% (1/e)");
@@ -176,4 +193,4 @@ int Run() {
 }  // namespace
 }  // namespace pso
 
-int main() { return pso::Run(); }
+int main(int argc, char** argv) { return pso::Run(argc, argv); }

@@ -10,11 +10,14 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "membership/membership.h"
+#include "tools/flags.h"
 
 namespace pso::membership {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
       "E15: membership inference on aggregate statistics (Homer et al.)",
       "aggregate allele frequencies of a pool reveal whether a target's "
@@ -40,6 +43,7 @@ int Run() {
     opts.pool_size = c.pool;
     opts.trials = 250;
     opts.eps = c.eps;
+    opts.pool = par.get();
     MembershipResult r = RunMembershipExperiment(u, opts);
     table.AddRow({StrFormat("%lld", (long long)c.attrs),
                   StrFormat("%zu", c.pool),
@@ -58,6 +62,22 @@ int Run() {
       "number of published statistics and shrinks with pool size; an "
       "eps-DP release flattens the ROC toward the diagonal.\n");
 
+  // Wall-clock comparison on one representative configuration.
+  {
+    Universe u = MakeGenotypeUniverse(1000, /*freq_seed=*/0x6e0);
+    MembershipOptions t_opts;
+    t_opts.pool_size = 50;
+    t_opts.trials = 250;
+    bench::WallTimer timer;
+    RunMembershipExperiment(u, t_opts);
+    double serial_s = timer.Seconds();
+    t_opts.pool = par.get();
+    timer.Reset();
+    RunMembershipExperiment(u, t_opts);
+    bench::ReportSpeedup("membership experiment, 1000 attrs x 250 trials",
+                         serial_s, timer.Seconds(), par.threads);
+  }
+
   bench::ShapeChecks checks;
   checks.CheckBetween(auc_strong, 0.97, 1.0,
                       "1000 exact aggregates: near-perfect membership "
@@ -74,4 +94,4 @@ int Run() {
 }  // namespace
 }  // namespace pso::membership
 
-int main() { return pso::membership::Run(); }
+int main(int argc, char** argv) { return pso::membership::Run(argc, argv); }

@@ -15,6 +15,7 @@
 #include "data/generators.h"
 #include "pso/game.h"
 #include "pso/synthetic.h"
+#include "tools/flags.h"
 
 namespace pso {
 namespace {
@@ -37,7 +38,9 @@ double AgeHistogramError(const Dataset& input, const Dataset& synthetic) {
   return tv / 2.0;
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
       "E16: is synthetic data anonymous? (Section 1.2, PSO lens)",
       "bootstrap 'synthetic' data fails PSO like the identity mechanism; "
@@ -48,6 +51,7 @@ int Run() {
   PsoGameOptions opts;
   opts.trials = 100;
   opts.weight_pool = 60000;
+  opts.pool = par.get();
   PsoGame game(u.distribution, n, opts);
   auto adversary = MakeSyntheticCopyAdversary();
 
@@ -90,6 +94,25 @@ int Run() {
       "generator. The PSO game distinguishes them where the label "
       "cannot.\n");
 
+  // Wall-clock comparison on one representative configuration.
+  {
+    PsoGameOptions t_opts;
+    t_opts.trials = 100;
+    t_opts.weight_pool = 60000;
+    auto t_mech =
+        MakeSyntheticDataMechanism(SyntheticMode::kMarginal, 0, /*eps=*/1.0);
+    bench::WallTimer timer;
+    PsoGame serial_game(u.distribution, n, t_opts);
+    serial_game.Run(*t_mech, *adversary);
+    double serial_s = timer.Seconds();
+    t_opts.pool = par.get();
+    timer.Reset();
+    PsoGame parallel_game(u.distribution, n, t_opts);
+    parallel_game.Run(*t_mech, *adversary);
+    bench::ReportSpeedup("marginal-synthesis game, 100 trials", serial_s,
+                         timer.Seconds(), par.threads);
+  }
+
   bench::ShapeChecks checks;
   checks.CheckBetween(bootstrap_rate, 0.9, 1.0,
                       "bootstrap synthesis fails PSO outright");
@@ -105,4 +128,4 @@ int Run() {
 }  // namespace
 }  // namespace pso
 
-int main() { return pso::Run(); }
+int main(int argc, char** argv) { return pso::Run(argc, argv); }

@@ -9,10 +9,13 @@
 #ifndef PSO_BENCH_BENCH_UTIL_H_
 #define PSO_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 
 namespace pso::bench {
@@ -62,6 +65,57 @@ inline void Banner(const std::string& id, const std::string& claim) {
   std::printf("%s\n", id.c_str());
   std::printf("Paper claim: %s\n", claim.c_str());
   std::printf("==========================================================\n");
+}
+
+/// Monotonic wall-clock stopwatch for the serial-vs-parallel reports.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction / the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Parallel-run configuration shared by the harnesses: worker pool (null
+/// when running serially) and the requested thread count.
+struct ParallelConfig {
+  std::unique_ptr<ThreadPool> pool;  ///< Null at threads == 1.
+  size_t threads = 1;
+
+  ThreadPool* get() const { return pool.get(); }
+};
+
+/// Builds the pool for `threads` workers (0 = hardware concurrency);
+/// 1 runs serially on the calling thread — exact legacy behavior.
+inline ParallelConfig MakeParallelConfig(size_t threads) {
+  ParallelConfig cfg;
+  cfg.threads = threads == 0 ? ThreadPool::HardwareThreads() : threads;
+  if (cfg.threads > 1) cfg.pool = std::make_unique<ThreadPool>(cfg.threads);
+  return cfg;
+}
+
+/// Prints the serial-vs-parallel wall-clock comparison for one workload.
+/// Determinism makes the two runs produce identical numbers, so the only
+/// difference worth reporting is time. Speedup is informational: on a
+/// single-core host (or threads == 1) there is nothing to win.
+inline void ReportSpeedup(const std::string& what, double serial_seconds,
+                          double parallel_seconds, size_t threads) {
+  double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  std::printf(
+      "\n-- wall clock: %s --\n  serial (1 thread): %.3fs   parallel "
+      "(%zu threads): %.3fs   speedup: %.2fx\n",
+      what.c_str(), serial_seconds, threads, parallel_seconds, speedup);
 }
 
 }  // namespace pso::bench

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
 #include <map>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace pso::census {
 
@@ -189,16 +191,30 @@ ReconstructionReport ReconstructPopulation(
     const ReconstructOptions& options,
     std::vector<BlockReconstruction>* per_block) {
   PSO_CHECK(tables.size() == population.blocks.size());
+  // Blocks are independent constraint problems: solve them in parallel
+  // into index-addressed slots, then aggregate serially in block order.
+  const size_t num_blocks = population.blocks.size();
+  std::vector<BlockReconstruction> results(num_blocks);
+  ParallelFor(options.pool, num_blocks, [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      results[b] =
+          ReconstructBlock(tables[b], population.blocks[b].persons, options);
+    }
+  });
+
   ReconstructionReport report;
-  for (size_t b = 0; b < population.blocks.size(); ++b) {
-    BlockReconstruction r =
-        ReconstructBlock(tables[b], population.blocks[b].persons, options);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const BlockReconstruction& r = results[b];
     report.blocks += 1;
     report.blocks_unique += r.unique ? 1 : 0;
     report.blocks_exhausted += r.exhausted ? 1 : 0;
     report.persons += population.blocks[b].persons.size();
     report.persons_exactly_reconstructed += r.exact_matches;
-    if (per_block != nullptr) per_block->push_back(std::move(r));
+  }
+  if (per_block != nullptr) {
+    per_block->insert(per_block->end(),
+                      std::make_move_iterator(results.begin()),
+                      std::make_move_iterator(results.end()));
   }
   return report;
 }

@@ -14,6 +14,10 @@
 #include "census/tabulator.h"
 #include "solver/csp.h"
 
+namespace pso {
+class ThreadPool;
+}
+
 namespace pso::census {
 
 /// Outcome of reconstructing one block.
@@ -38,6 +42,10 @@ struct BlockReconstruction {
 struct ReconstructOptions {
   size_t max_solutions = 64;    ///< Stop after this many solutions.
   size_t max_nodes = 2000000;   ///< Search budget per block.
+  /// Worker pool for ReconstructPopulation (null = serial). Blocks are
+  /// independent CSPs and carry no randomness, so results are identical
+  /// at any thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Builds the CSP from `tables` and enumerates solutions. `truth` is used

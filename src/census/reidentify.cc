@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace pso::census {
 
@@ -53,10 +54,12 @@ double ReidentificationReport::precision() const {
 ReidentificationReport Reidentify(
     const Population& population,
     const std::vector<BlockReconstruction>& reconstructions,
-    const std::vector<CommercialEntry>& commercial, int64_t age_tolerance) {
+    const std::vector<CommercialEntry>& commercial, int64_t age_tolerance,
+    ThreadPool* pool) {
   PSO_CHECK(reconstructions.size() == population.blocks.size());
 
-  // Index reconstructions and truth by block id.
+  // Index reconstructions and truth by block id (read-only during the
+  // parallel linkage below).
   std::map<size_t, const BlockReconstruction*> recon_by_block;
   for (const auto& r : reconstructions) recon_by_block[r.block_id] = &r;
   std::map<size_t, const Block*> block_by_id;
@@ -66,33 +69,53 @@ ReidentificationReport Reidentify(
   report.population = population.total_persons;
   report.commercial_entries = commercial.size();
 
-  for (const CommercialEntry& entry : commercial) {
-    auto rit = recon_by_block.find(entry.block_id);
-    if (rit == recon_by_block.end()) continue;
-    const BlockReconstruction& recon = *rit->second;
-    if (recon.reconstructed.empty()) continue;
+  struct LinkageCounts {
+    size_t putative = 0;
+    size_t confirmed = 0;
+  };
+  const size_t chunk = DefaultChunkSize(commercial.size());
+  std::vector<LinkageCounts> counts(NumChunks(commercial.size(), chunk));
 
-    // Find reconstructed records matching (sex, age within tolerance).
-    const Record* match = nullptr;
-    size_t matches = 0;
-    for (const Record& r : recon.reconstructed) {
-      if (r[kSex] == entry.sex &&
-          std::llabs(r[kAge] - entry.age) <= age_tolerance) {
-        ++matches;
-        match = &r;
-      }
-    }
-    if (matches != 1) continue;  // ambiguous or no match: no claim
-    ++report.putative;
+  ParallelFor(
+      pool, commercial.size(),
+      [&](size_t begin, size_t end) {
+        LinkageCounts& c = counts[begin / chunk];
+        for (size_t idx = begin; idx < end; ++idx) {
+          const CommercialEntry& entry = commercial[idx];
+          auto rit = recon_by_block.find(entry.block_id);
+          if (rit == recon_by_block.end()) continue;
+          const BlockReconstruction& recon = *rit->second;
+          if (recon.reconstructed.empty()) continue;
 
-    // Confirmed iff the claimed record equals the true person's record.
-    const Block& block = *block_by_id.at(entry.block_id);
-    for (size_t i = 0; i < block.person_ids.size(); ++i) {
-      if (block.person_ids[i] == entry.person_id) {
-        if (block.persons.record(i) == *match) ++report.confirmed;
-        break;
-      }
-    }
+          // Find reconstructed records matching (sex, age within
+          // tolerance).
+          const Record* match = nullptr;
+          size_t matches = 0;
+          for (const Record& r : recon.reconstructed) {
+            if (r[kSex] == entry.sex &&
+                std::llabs(r[kAge] - entry.age) <= age_tolerance) {
+              ++matches;
+              match = &r;
+            }
+          }
+          if (matches != 1) continue;  // ambiguous or no match: no claim
+          ++c.putative;
+
+          // Confirmed iff the claimed record equals the true person's.
+          const Block& block = *block_by_id.at(entry.block_id);
+          for (size_t i = 0; i < block.person_ids.size(); ++i) {
+            if (block.person_ids[i] == entry.person_id) {
+              if (block.persons.record(i) == *match) ++c.confirmed;
+              break;
+            }
+          }
+        }
+      },
+      chunk);
+
+  for (const LinkageCounts& c : counts) {
+    report.putative += c.putative;
+    report.confirmed += c.confirmed;
   }
   return report;
 }

@@ -54,12 +54,15 @@ struct ReidentificationReport {
 };
 
 /// Links `commercial` against per-block reconstructions. `age_tolerance`
-/// mirrors the published attack's +/-1 year matching.
+/// mirrors the published attack's +/-1 year matching. The linkage is
+/// read-only over the reconstructions, so a non-null `pool` splits the
+/// commercial file across workers; per-chunk counts merge in index order
+/// and the report is identical at any thread count.
 ReidentificationReport Reidentify(
     const Population& population,
     const std::vector<BlockReconstruction>& reconstructions,
     const std::vector<CommercialEntry>& commercial,
-    int64_t age_tolerance = 1);
+    int64_t age_tolerance = 1, ThreadPool* pool = nullptr);
 
 }  // namespace pso::census
 

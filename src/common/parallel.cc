@@ -1,0 +1,154 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace pso {
+
+namespace {
+
+// Chunks per ParallelFor when no explicit chunk size is given. Small
+// enough that per-chunk bookkeeping is negligible, large enough that up
+// to ~64 workers all find work. Must stay a constant: chunk boundaries
+// may depend only on n.
+constexpr size_t kDefaultChunks = 64;
+
+// Shared state of one ParallelFor invocation. Worker tasks hold it via
+// shared_ptr so late-dequeued helpers (whose chunks were already claimed
+// by others) outlive the call safely: they observe next_chunk >= num_chunks
+// and exit without touching `body`.
+struct ForState {
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  size_t n = 0;
+  size_t chunk_size = 0;
+  size_t num_chunks = 0;
+
+  std::atomic<size_t> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t done_chunks = 0;           // guarded by mu
+  std::exception_ptr error;         // guarded by mu
+  size_t error_chunk = 0;           // guarded by mu
+
+  // Claims and runs chunks until none remain. Returns once this thread
+  // can take no more work (other threads may still be running chunks).
+  void RunChunks() {
+    for (;;) {
+      size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      size_t begin = c * chunk_size;
+      size_t end = std::min(n, begin + chunk_size);
+      std::exception_ptr err;
+      try {
+        (*body)(begin, end);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (err && (!error || c < error_chunk)) {
+        error = err;
+        error_chunk = c;
+      }
+      if (++done_chunks == num_chunks) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = HardwareThreads();
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+size_t DefaultChunkSize(size_t n) {
+  if (n == 0) return 1;
+  return std::max<size_t>(1, (n + kDefaultChunks - 1) / kDefaultChunks);
+}
+
+size_t NumChunks(size_t n, size_t chunk_size) {
+  if (n == 0) return 0;
+  if (chunk_size == 0) chunk_size = DefaultChunkSize(n);
+  return (n + chunk_size - 1) / chunk_size;
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& body,
+                 size_t chunk_size) {
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = DefaultChunkSize(n);
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  if (pool == nullptr || pool->num_threads() == 0 || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      size_t begin = c * chunk_size;
+      body(begin, std::min(n, begin + chunk_size));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->body = &body;
+  state->n = n;
+  state->chunk_size = chunk_size;
+  state->num_chunks = num_chunks;
+
+  // One helper per worker (capped by the chunk count); the caller also
+  // claims chunks, so completion never depends on a helper being
+  // scheduled — nested ParallelFor on a saturated pool cannot deadlock.
+  const size_t helpers = std::min(pool->num_threads(), num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock,
+                      [&] { return state->done_chunks == state->num_chunks; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace pso

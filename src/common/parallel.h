@@ -1,0 +1,93 @@
+// Deterministic parallel execution for Monte-Carlo trial loops.
+//
+// The repo's reproducibility contract is "same seed => same numbers"; this
+// module extends it to "same seed => same numbers at ANY thread count".
+// Two ingredients make that hold:
+//
+//  1. Counter-based RNG streams (Rng::StreamAt): trial i derives its
+//     generator from (master_seed, i) alone, never from which thread runs
+//     it or in what order.
+//  2. Thread-count-independent chunking: ParallelFor splits [0, n) into
+//     chunks whose boundaries depend only on n (and an optional explicit
+//     chunk size). Call sites accumulate into per-chunk estimators and
+//     merge them in chunk-index order, so floating-point reductions are
+//     bit-for-bit identical whether 1 or 64 threads ran the chunks.
+//
+// The pool is deliberately simple: a fixed set of workers draining a
+// mutex-guarded queue — no work stealing, no task priorities. ParallelFor
+// is deadlock-free under nesting because the calling thread participates
+// in executing chunks: if every worker is busy (or the pool has none), the
+// caller just runs all chunks itself.
+
+#ifndef PSO_COMMON_PARALLEL_H_
+#define PSO_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pso {
+
+/// Fixed-size thread pool. Threads are started in the constructor and
+/// joined in the destructor; tasks submitted after shutdown are dropped.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means HardwareThreads().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains nothing: joins after finishing all queued tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Chunk size used by ParallelFor when none is given: a pure function of
+/// `n` (never of the thread count), so reductions over per-chunk
+/// accumulators are reproducible at any parallelism.
+size_t DefaultChunkSize(size_t n);
+
+/// Number of chunks ParallelFor will use for (`n`, `chunk_size`);
+/// `chunk_size` 0 means DefaultChunkSize(n). Size per-chunk accumulator
+/// vectors with this, and index them by `begin / chunk_size`.
+size_t NumChunks(size_t n, size_t chunk_size = 0);
+
+/// Runs `body(begin, end)` over disjoint chunks covering [0, n), blocking
+/// until every chunk has finished. Chunks may run concurrently on `pool`'s
+/// workers and on the calling thread; with a null pool (or n small enough
+/// for one chunk) everything runs inline on the caller — the exact legacy
+/// serial behavior.
+///
+/// Exceptions thrown by `body` are captured and the one from the
+/// lowest-indexed failing chunk is rethrown on the calling thread after
+/// all chunks have completed (deterministic even when several chunks
+/// throw).
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t begin, size_t end)>& body,
+                 size_t chunk_size = 0);
+
+}  // namespace pso
+
+#endif  // PSO_COMMON_PARALLEL_H_

@@ -38,6 +38,15 @@ uint64_t Rng::NextUint64() {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng Rng::StreamAt(uint64_t master_seed, uint64_t index) {
+  uint64_t s = master_seed;
+  uint64_t whitened = SplitMix64(s);
+  // SplitMix64's output function is a strong finalizer designed for
+  // counter inputs; whitened + index walks it through distinct counters.
+  uint64_t t = whitened + index;
+  return Rng(SplitMix64(t));
+}
+
 uint64_t Rng::UniformUint64(uint64_t bound) {
   PSO_CHECK(bound > 0);
   // Rejection sampling to remove modulo bias.

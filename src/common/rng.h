@@ -30,7 +30,22 @@ class Rng {
 
   /// Returns an independent generator derived from this one's stream,
   /// for handing to sub-components without correlating their draws.
+  ///
+  /// CAUTION: Fork() advances this generator, so the forked stream depends
+  /// on how many draws preceded it — inside a trial loop that makes trial
+  /// results depend on iteration order. Parallel/deterministic trial loops
+  /// must use StreamAt(master_seed, trial_index) instead.
   Rng Fork();
+
+  /// Counter-based stream derivation: returns the generator for logical
+  /// stream `index` under `master_seed`. The mapping is pure — trial i
+  /// gets the same generator regardless of thread count, execution order,
+  /// or any other draws — which is what makes parallel Monte-Carlo loops
+  /// bit-for-bit reproducible. Derivation: the master seed is whitened
+  /// through SplitMix64, the counter is folded in, and the result is
+  /// passed through SplitMix64's finalizer again before seeding
+  /// xoshiro256++ (so consecutive indices land in uncorrelated states).
+  static Rng StreamAt(uint64_t master_seed, uint64_t index);
 
   /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
   /// (rejection sampling).

@@ -20,6 +20,23 @@ void RunningStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double total = na + nb;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
@@ -36,6 +53,11 @@ void BernoulliEstimator::AddBatch(size_t successes, size_t trials) {
   PSO_CHECK(successes <= trials);
   trials_ += trials;
   successes_ += successes;
+}
+
+void BernoulliEstimator::Merge(const BernoulliEstimator& other) {
+  trials_ += other.trials_;
+  successes_ += other.successes_;
 }
 
 double BernoulliEstimator::rate() const {

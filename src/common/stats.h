@@ -27,6 +27,12 @@ class RunningStats {
   /// Adds one observation.
   void Add(double x);
 
+  /// Folds `other`'s observations into this accumulator (Chan et al.'s
+  /// pairwise update). Merging per-chunk accumulators in chunk-index
+  /// order reproduces the single-stream mean/variance to floating-point
+  /// accuracy, deterministically for a fixed chunking.
+  void Merge(const RunningStats& other);
+
   size_t count() const { return count_; }
   double mean() const { return mean_; }
 
@@ -56,6 +62,9 @@ class BernoulliEstimator {
 
   /// Records `successes` out of `trials` at once.
   void AddBatch(size_t successes, size_t trials);
+
+  /// Folds `other`'s counts into this estimator (exact; order-free).
+  void Merge(const BernoulliEstimator& other);
 
   size_t trials() const { return trials_; }
   size_t successes() const { return successes_; }

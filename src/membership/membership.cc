@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace pso::membership {
 
@@ -53,7 +54,6 @@ MembershipResult RunMembershipExperiment(const Universe& universe,
                                          const MembershipOptions& options) {
   PSO_CHECK(options.pool_size >= 2);
   PSO_CHECK(options.trials > 0);
-  Rng rng(options.seed);
 
   // Public reference frequencies: the exact marginals of D.
   const size_t d = universe.schema.NumAttributes();
@@ -62,52 +62,83 @@ MembershipResult RunMembershipExperiment(const Universe& universe,
     reference[j] = universe.distribution.marginal(j).Probability(1);
   }
 
-  std::vector<double> in_stats;
-  std::vector<double> out_stats;
-  in_stats.reserve(options.trials);
-  out_stats.reserve(options.trials);
-  for (size_t t = 0; t < options.trials; ++t) {
-    Dataset pool =
-        universe.distribution.SampleDataset(options.pool_size, rng);
-    std::vector<double> released =
-        options.eps > 0.0
-            ? DpAggregateFrequencies(pool, options.eps, rng)
-            : AggregateFrequencies(pool);
-    size_t member = static_cast<size_t>(rng.UniformUint64(pool.size()));
-    in_stats.push_back(
-        MembershipStatistic(pool.record(member), released, reference));
-    out_stats.push_back(MembershipStatistic(
-        universe.distribution.Sample(rng), released, reference));
-  }
+  // Trial t writes slots in_stats[t] / out_stats[t] from its own
+  // counter-derived stream: the statistic vectors are identical at any
+  // thread count.
+  std::vector<double> in_stats(options.trials);
+  std::vector<double> out_stats(options.trials);
+  ParallelFor(options.pool, options.trials, [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      Rng rng = Rng::StreamAt(options.seed, t);
+      Dataset pool =
+          universe.distribution.SampleDataset(options.pool_size, rng);
+      std::vector<double> released =
+          options.eps > 0.0
+              ? DpAggregateFrequencies(pool, options.eps, rng)
+              : AggregateFrequencies(pool);
+      size_t member = static_cast<size_t>(rng.UniformUint64(pool.size()));
+      in_stats[t] =
+          MembershipStatistic(pool.record(member), released, reference);
+      out_stats[t] = MembershipStatistic(universe.distribution.Sample(rng),
+                                         released, reference);
+    }
+  });
 
   MembershipResult result;
   // AUC by pairwise comparison (exact, O(T^2) is fine at these sizes).
+  // Chunked over members with per-chunk partial sums merged in index
+  // order: the O(T^2) scan parallelizes without perturbing the result.
+  const size_t chunk = DefaultChunkSize(options.trials);
+  std::vector<double> win_chunks(NumChunks(options.trials, chunk), 0.0);
+  ParallelFor(
+      options.pool, options.trials,
+      [&](size_t begin, size_t end) {
+        double wins = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          double a = in_stats[i];
+          for (double b : out_stats) {
+            if (a > b) {
+              wins += 1.0;
+            } else if (a == b) {
+              wins += 0.5;
+            }
+          }
+        }
+        win_chunks[begin / chunk] = wins;
+      },
+      chunk);
   double wins = 0.0;
-  for (double a : in_stats) {
-    for (double b : out_stats) {
-      if (a > b) {
-        wins += 1.0;
-      } else if (a == b) {
-        wins += 0.5;
-      }
-    }
-  }
+  for (double w : win_chunks) wins += w;
   result.auc = wins / (static_cast<double>(in_stats.size()) *
                        static_cast<double>(out_stats.size()));
 
-  // Best-threshold advantage: sweep all observed statistics.
+  // Best-threshold advantage: sweep all observed statistics. Per-chunk
+  // maxima merge in index order (max is exact, so this too is
+  // thread-count-invariant).
   std::vector<double> thresholds = in_stats;
   thresholds.insert(thresholds.end(), out_stats.begin(), out_stats.end());
   std::sort(thresholds.begin(), thresholds.end());
-  for (double thr : thresholds) {
-    double tpr = 0.0;
-    double fpr = 0.0;
-    for (double a : in_stats) tpr += a >= thr ? 1.0 : 0.0;
-    for (double b : out_stats) fpr += b >= thr ? 1.0 : 0.0;
-    tpr /= static_cast<double>(in_stats.size());
-    fpr /= static_cast<double>(out_stats.size());
-    result.advantage = std::max(result.advantage, tpr - fpr);
-  }
+  const size_t thr_chunk = DefaultChunkSize(thresholds.size());
+  std::vector<double> adv_chunks(NumChunks(thresholds.size(), thr_chunk),
+                                 -1.0);
+  ParallelFor(
+      options.pool, thresholds.size(),
+      [&](size_t begin, size_t end) {
+        double best = -1.0;
+        for (size_t i = begin; i < end; ++i) {
+          double thr = thresholds[i];
+          double tpr = 0.0;
+          double fpr = 0.0;
+          for (double a : in_stats) tpr += a >= thr ? 1.0 : 0.0;
+          for (double b : out_stats) fpr += b >= thr ? 1.0 : 0.0;
+          tpr /= static_cast<double>(in_stats.size());
+          fpr /= static_cast<double>(out_stats.size());
+          best = std::max(best, tpr - fpr);
+        }
+        adv_chunks[begin / thr_chunk] = best;
+      },
+      thr_chunk);
+  for (double a : adv_chunks) result.advantage = std::max(result.advantage, a);
 
   double sum_in = 0.0;
   for (double a : in_stats) sum_in += a;

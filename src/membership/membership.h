@@ -22,6 +22,10 @@
 #include "common/rng.h"
 #include "data/generators.h"
 
+namespace pso {
+class ThreadPool;
+}
+
 namespace pso::membership {
 
 /// Released per-attribute frequencies of a pool (optionally DP).
@@ -40,12 +44,15 @@ double MembershipStatistic(const Record& target,
                            const std::vector<double>& pool_freqs,
                            const std::vector<double>& reference_freqs);
 
-/// Experiment configuration.
+/// Experiment configuration. Each trial draws from its own counter-derived
+/// stream (Rng::StreamAt(seed, trial)), so results are bit-for-bit
+/// identical at any thread count.
 struct MembershipOptions {
   size_t pool_size = 50;
   size_t trials = 300;       ///< In/out statistic pairs collected.
   double eps = 0.0;          ///< 0 = exact aggregates, > 0 = eps-DP.
   uint64_t seed = 0x40e;
+  ThreadPool* pool = nullptr;  ///< Worker pool; null = serial execution.
 };
 
 /// Outcome: the attack's discriminative power.

@@ -1,17 +1,34 @@
 #include "predicate/weight.h"
 
+#include <vector>
+
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace pso {
 
 WeightEstimate EstimateWeightMonteCarlo(const Predicate& pred,
                                         const Distribution& dist, Rng& rng,
-                                        size_t samples) {
+                                        size_t samples, ThreadPool* pool) {
   PSO_CHECK(samples > 0);
+  // One master seed from the caller's stream; each sample then uses its
+  // own counter-derived stream, making the estimate independent of thread
+  // count and chunk execution order.
+  const uint64_t master = rng.NextUint64();
+  const size_t chunk = DefaultChunkSize(samples);
+  std::vector<BernoulliEstimator> chunks(NumChunks(samples, chunk));
+  ParallelFor(
+      pool, samples,
+      [&](size_t begin, size_t end) {
+        BernoulliEstimator& est = chunks[begin / chunk];
+        for (size_t i = begin; i < end; ++i) {
+          Rng sample_rng = Rng::StreamAt(master, i);
+          est.Add(pred.Eval(dist.Sample(sample_rng)));
+        }
+      },
+      chunk);
   BernoulliEstimator est;
-  for (size_t i = 0; i < samples; ++i) {
-    est.Add(pred.Eval(dist.Sample(rng)));
-  }
+  for (const BernoulliEstimator& c : chunks) est.Merge(c);
   WeightEstimate out;
   out.value = est.rate();
   out.interval = est.WilsonInterval();
@@ -21,7 +38,7 @@ WeightEstimate EstimateWeightMonteCarlo(const Predicate& pred,
 }
 
 WeightEstimate ComputeWeight(const Predicate& pred, const Distribution& dist,
-                             Rng& rng, size_t samples) {
+                             Rng& rng, size_t samples, ThreadPool* pool) {
   if (const auto* product = dynamic_cast<const ProductDistribution*>(&dist)) {
     auto exact = pred.ExactWeight(*product);
     if (exact.has_value()) {
@@ -33,7 +50,7 @@ WeightEstimate ComputeWeight(const Predicate& pred, const Distribution& dist,
       return out;
     }
   }
-  return EstimateWeightMonteCarlo(pred, dist, rng, samples);
+  return EstimateWeightMonteCarlo(pred, dist, rng, samples, pool);
 }
 
 double NegligibleWeightThreshold(size_t n, double threshold_factor) {

@@ -26,15 +26,23 @@ struct WeightEstimate {
   size_t samples = 0;      ///< Monte-Carlo sample count (0 when exact).
 };
 
-/// Monte-Carlo estimate of w_D(p) from `samples` fresh draws of D.
+class ThreadPool;
+
+/// Monte-Carlo estimate of w_D(p) from `samples` fresh draws of D. Sample
+/// i is drawn from its own counter-derived stream (seeded from one draw of
+/// `rng`), so passing a `pool` parallelizes the estimate without changing
+/// the result: any thread count produces the same estimate bit-for-bit.
 WeightEstimate EstimateWeightMonteCarlo(const Predicate& pred,
                                         const Distribution& dist, Rng& rng,
-                                        size_t samples);
+                                        size_t samples,
+                                        ThreadPool* pool = nullptr);
 
 /// Best-available weight: exact if `pred` supports it under `dist` (when
-/// `dist` is a ProductDistribution), otherwise Monte-Carlo with `samples`.
+/// `dist` is a ProductDistribution), otherwise Monte-Carlo with `samples`
+/// (optionally parallel on `pool`; deterministic either way).
 WeightEstimate ComputeWeight(const Predicate& pred, const Distribution& dist,
-                             Rng& rng, size_t samples = 100000);
+                             Rng& rng, size_t samples = 100000,
+                             ThreadPool* pool = nullptr);
 
 /// The weight threshold below which the PSO game treats a predicate as
 /// "negligible weight" at dataset size n. The paper requires w = negl(n);

@@ -16,6 +16,7 @@
 #ifndef PSO_PSO_GAME_H_
 #define PSO_PSO_GAME_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,13 +30,21 @@ namespace pso {
 
 class InteractiveMechanism;
 class InteractiveAdversary;
+class ThreadPool;
 
 /// Game configuration.
+///
+/// Determinism guarantee: for a fixed seed, results are bit-for-bit
+/// identical at any thread count (including `pool == nullptr`). Every
+/// trial draws from its own counter-derived stream
+/// (Rng::StreamAt(seed, trial)), and per-chunk accumulators are merged in
+/// chunk-index order with thread-count-independent chunking.
 struct PsoGameOptions {
   size_t trials = 200;          ///< Independent game trials.
   double weight_threshold = 0;  ///< tau(n); 0 = default 1/(10 n).
   size_t weight_pool = 200000;  ///< Monte-Carlo pool for weight checks.
   uint64_t seed = 0x5eed;       ///< Master seed (fully deterministic runs).
+  ThreadPool* pool = nullptr;   ///< Worker pool; null = serial execution.
 };
 
 /// Outcome of a game run.
@@ -88,12 +97,17 @@ class PsoGame {
   double VerifiedWeightUpperBound(const Predicate& pred) const;
 
  private:
+  /// Shared trial loop: `attack` maps (dataset, trial rng) to the
+  /// adversary's predicate (or nullptr on concession).
+  PsoGameResult RunTrialLoop(
+      const std::string& mechanism_name, const std::string& adversary_name,
+      const std::function<PredicateRef(const Dataset&, Rng&)>& attack) const;
+
   const Distribution& dist_;
   const ProductDistribution* product_;
   size_t n_;
   PsoGameOptions options_;
   double threshold_;
-  Rng rng_;
   std::vector<Record> pool_;  ///< Shared weight-verification sample.
 };
 

@@ -1,9 +1,11 @@
 #include "recon/attacks.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "solver/lp.h"
 
 namespace pso::recon {
@@ -38,11 +40,12 @@ std::vector<uint8_t> RoundAtHalf(const std::vector<double>& x) {
 
 }  // namespace
 
-Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha) {
+Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha,
+                                     ThreadPool* pool) {
   const size_t n = oracle.n();
   PSO_CHECK_MSG(n <= 24, "exhaustive attack is exponential; keep n <= 24");
 
-  // Ask all 2^n subset queries.
+  // Ask all 2^n subset queries (serial: the oracle is stateful).
   const uint64_t num_masks = 1ULL << n;
   std::vector<double> answers(num_masks);
   SubsetQuery q(n);
@@ -52,23 +55,63 @@ Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha) {
   }
 
   // Scan candidates; a candidate is consistent if every query answer is
-  // within alpha of the candidate's subset sum.
+  // within alpha of the candidate's subset sum. The scan over `answers`
+  // is read-only, so chunks of the candidate space run in parallel; each
+  // chunk reports its first fully consistent candidate (if any) and its
+  // earliest minimum-violation candidate, and the chunk winners merge in
+  // index order — the same candidate the serial scan returns.
+  struct ChunkBest {
+    uint64_t best_candidate = 0;
+    double best_violation = std::numeric_limits<double>::infinity();
+    bool found_consistent = false;
+    uint64_t consistent_candidate = 0;
+    double consistent_violation = 0.0;
+  };
+  const size_t chunk =
+      std::max<size_t>(1, DefaultChunkSize(static_cast<size_t>(num_masks)));
+  std::vector<ChunkBest> bests(NumChunks(static_cast<size_t>(num_masks),
+                                         chunk));
+  ParallelFor(
+      pool, static_cast<size_t>(num_masks),
+      [&](size_t begin, size_t end) {
+        ChunkBest& best = bests[begin / chunk];
+        for (uint64_t cand = begin; cand < end; ++cand) {
+          double worst = 0.0;
+          for (uint64_t mask = 0; mask < num_masks; ++mask) {
+            double sum = static_cast<double>(std::popcount(cand & mask));
+            double v = std::fabs(sum - answers[mask]);
+            if (v > worst) {
+              worst = v;
+              if (worst > alpha && worst >= best.best_violation) {
+                break;  // hopeless
+              }
+            }
+          }
+          if (worst < best.best_violation) {
+            best.best_violation = worst;
+            best.best_candidate = cand;
+            if (worst <= alpha) {
+              best.found_consistent = true;
+              best.consistent_candidate = cand;
+              best.consistent_violation = worst;
+              break;  // fully consistent candidate found in this chunk
+            }
+          }
+        }
+      },
+      chunk);
+
   uint64_t best_candidate = 0;
   double best_violation = std::numeric_limits<double>::infinity();
-  for (uint64_t cand = 0; cand < num_masks; ++cand) {
-    double worst = 0.0;
-    for (uint64_t mask = 0; mask < num_masks; ++mask) {
-      double sum = static_cast<double>(std::popcount(cand & mask));
-      double v = std::fabs(sum - answers[mask]);
-      if (v > worst) {
-        worst = v;
-        if (worst > alpha && worst >= best_violation) break;  // hopeless
-      }
+  for (const ChunkBest& best : bests) {
+    if (best.found_consistent) {
+      best_candidate = best.consistent_candidate;
+      best_violation = best.consistent_violation;
+      break;  // earliest chunk with a consistent candidate wins
     }
-    if (worst < best_violation) {
-      best_violation = worst;
-      best_candidate = cand;
-      if (worst <= alpha) break;  // fully consistent candidate found
+    if (best.best_violation < best_violation) {
+      best_violation = best.best_violation;
+      best_candidate = best.best_candidate;
     }
   }
 

@@ -19,6 +19,10 @@
 #include "common/rng.h"
 #include "recon/oracle.h"
 
+namespace pso {
+class ThreadPool;
+}
+
 namespace pso::recon {
 
 /// Output of a reconstruction attack.
@@ -31,8 +35,12 @@ struct Reconstruction {
 /// Theorem 1.1(i). Issues all 2^n subset queries (n <= 24 enforced), then
 /// searches all 2^n candidates for one whose subset sums match every
 /// answer within `alpha`. Returns the first consistent candidate, or the
-/// minimum-max-violation candidate if none is fully consistent.
-Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha);
+/// minimum-max-violation candidate if none is fully consistent. The
+/// candidate scan is pure, so a non-null `pool` splits it across workers;
+/// per-chunk winners merge in chunk order, reproducing the serial
+/// "earliest candidate wins" result at any thread count.
+Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha,
+                                     ThreadPool* pool = nullptr);
 
 /// Theorem 1.1(ii) by LP decoding. Issues `num_queries` uniformly random
 /// subset queries (each index included w.p. 1/2), solves

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/stats.h"
 
@@ -25,6 +27,84 @@ TEST(RunningStatsTest, SingleObservationHasZeroVariance) {
   s.Add(3.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+// Chunked accumulation (the parallel trial runner's merge step) must
+// reproduce the single-stream statistics exactly.
+TEST(RunningStatsTest, MergeMatchesSingleStream) {
+  std::vector<double> xs;
+  uint64_t state = 0x9E3779B97F4A7C15ull;  // cheap deterministic values
+  for (int i = 0; i < 257; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    xs.push_back(static_cast<double>(state >> 11) / 9.0e15 - 0.5);
+  }
+  RunningStats whole;
+  for (double x : xs) whole.Add(x);
+  // Merge uneven chunks (including a chunk of size 1).
+  RunningStats merged;
+  size_t sizes[] = {100, 1, 56, 100};
+  size_t pos = 0;
+  for (size_t len : sizes) {
+    RunningStats chunk;
+    for (size_t i = 0; i < len; ++i) chunk.Add(xs[pos++]);
+    merged.Merge(chunk);
+  }
+  ASSERT_EQ(pos, xs.size());
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeEmptyChunksIsIdentity) {
+  RunningStats s;
+  s.Add(1.5);
+  s.Add(-2.5);
+  RunningStats empty;
+  RunningStats copy = s;
+  copy.Merge(empty);  // s + 0 = s
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), s.mean());
+  EXPECT_DOUBLE_EQ(copy.variance(), s.variance());
+  RunningStats other;  // 0 + s = s
+  other.Merge(s);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), s.mean());
+  EXPECT_DOUBLE_EQ(other.min(), -2.5);
+  EXPECT_DOUBLE_EQ(other.max(), 1.5);
+  RunningStats both;  // 0 + 0 = 0
+  both.Merge(empty);
+  EXPECT_EQ(both.count(), 0u);
+}
+
+TEST(RunningStatsTest, MergeSingleElementChunks) {
+  // Degenerate chunking: every chunk holds one observation.
+  RunningStats whole;
+  RunningStats merged;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    whole.Add(x);
+    RunningStats one;
+    one.Add(x);
+    merged.Merge(one);
+  }
+  EXPECT_EQ(merged.count(), 8u);
+  EXPECT_DOUBLE_EQ(merged.mean(), 5.0);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12);
+}
+
+TEST(BernoulliEstimatorTest, MergeSumsCounts) {
+  BernoulliEstimator a;
+  a.AddBatch(3, 10);
+  BernoulliEstimator b;
+  b.AddBatch(5, 6);
+  a.Merge(b);
+  EXPECT_EQ(a.trials(), 16u);
+  EXPECT_EQ(a.successes(), 8u);
+  EXPECT_DOUBLE_EQ(a.rate(), 0.5);
+  BernoulliEstimator empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.trials(), 16u);
 }
 
 TEST(BernoulliEstimatorTest, RateAndBatch) {

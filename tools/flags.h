@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace pso::tools {
@@ -56,6 +57,17 @@ class Flags {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     return it->second != "false" && it->second != "0";
+  }
+
+  /// The worker-thread count from `--threads`. Defaults to the hardware
+  /// concurrency (floor 1); `--threads=1` requests exact legacy serial
+  /// execution. Deterministic experiments produce identical numbers at
+  /// every value.
+  size_t GetThreads(const std::string& key = "threads") const {
+    int64_t v = GetInt(key, 0);
+    if (v > 0) return static_cast<size_t>(v);
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<size_t>(hc);
   }
 
   const std::vector<std::string>& positional() const { return positional_; }

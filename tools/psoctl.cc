@@ -13,13 +13,18 @@
 //   psoctl audit   [--eps 1.0] [--trials 300000] [--seed 1]
 //   psoctl membership [--attrs 300] [--pool 50] [--eps 0] [--trials 200]
 //
-// Every run is deterministic given --seed.
+// Every subcommand also accepts --threads N (default: hardware
+// concurrency; 1 = serial). Every run is deterministic given --seed at
+// ANY thread count: trials draw counter-derived RNG streams and partial
+// results merge in a fixed order, so --threads changes only wall clock.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <cmath>
 
 #include "census/reidentify.h"
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "common/table.h"
 #include "data/generators.h"
@@ -37,6 +42,12 @@
 
 namespace pso::tools {
 namespace {
+
+/// Builds the worker pool requested by --threads (null when serial).
+std::unique_ptr<ThreadPool> MakePool(const Flags& flags) {
+  const size_t threads = flags.GetThreads();
+  return threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+}
 
 int Usage() {
   std::fprintf(
@@ -103,10 +114,12 @@ int RunGame(const Flags& flags) {
     return 2;
   }
 
+  auto pool = MakePool(flags);
   PsoGameOptions opts;
   opts.trials = static_cast<size_t>(flags.GetInt("trials", 100));
   opts.weight_threshold = flags.GetDouble("tau", 0.0);
   opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  opts.pool = pool.get();
   PsoGame game(u.distribution, n, opts);
   PsoGameResult result = game.Run(*mech, *adv);
   std::printf("%s\n", result.Summary().c_str());
@@ -141,13 +154,16 @@ int RunCensus(const Flags& flags) {
                                                             false))
                          : census::Tabulate(b));
   }
+  auto pool = MakePool(flags);
+  census::ReconstructOptions ropts;
+  ropts.pool = pool.get();
   std::vector<census::BlockReconstruction> per_block;
   census::ReconstructionReport recon =
-      census::ReconstructPopulation(pop, tables, {}, &per_block);
+      census::ReconstructPopulation(pop, tables, ropts, &per_block);
   census::CommercialOptions copts;
   auto commercial = census::SimulateCommercialDatabase(pop, copts, rng);
-  census::ReidentificationReport reid =
-      census::Reidentify(pop, per_block, commercial);
+  census::ReidentificationReport reid = census::Reidentify(
+      pop, per_block, commercial, /*age_tolerance=*/1, pool.get());
 
   TextTable table({"metric", "value"});
   table.AddRow({"persons", StrFormat("%zu", pop.total_persons)});
@@ -222,7 +238,8 @@ int RunRecon(const Flags& flags) {
   } else if (decoder == "lsq") {
     result = recon::LeastSquaresReconstruct(oracle, queries, rng);
   } else if (decoder == "exhaustive") {
-    result = recon::ExhaustiveReconstruct(oracle, alpha);
+    auto pool = MakePool(flags);
+    result = recon::ExhaustiveReconstruct(oracle, alpha, pool.get());
   } else {
     std::fprintf(stderr, "unknown decoder '%s'\n", decoder.c_str());
     return 2;
@@ -254,11 +271,13 @@ int RunAudit(const Flags& flags) {
 int RunMembership(const Flags& flags) {
   Universe u = MakeGenotypeUniverse(flags.GetInt("attrs", 300),
                                     /*freq_seed=*/0x6e0);
+  auto workers = MakePool(flags);
   membership::MembershipOptions opts;
   opts.pool_size = static_cast<size_t>(flags.GetInt("pool", 50));
   opts.trials = static_cast<size_t>(flags.GetInt("trials", 200));
   opts.eps = flags.GetDouble("eps", 0.0);
   opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  opts.pool = workers.get();
   membership::MembershipResult r =
       membership::RunMembershipExperiment(u, opts);
   std::printf(
