@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_isolation.dir/bench_baseline_isolation.cc.o"
+  "CMakeFiles/bench_baseline_isolation.dir/bench_baseline_isolation.cc.o.d"
+  "bench_baseline_isolation"
+  "bench_baseline_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

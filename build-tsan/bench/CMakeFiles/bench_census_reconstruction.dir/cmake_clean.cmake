@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_census_reconstruction.dir/bench_census_reconstruction.cc.o"
+  "CMakeFiles/bench_census_reconstruction.dir/bench_census_reconstruction.cc.o.d"
+  "bench_census_reconstruction"
+  "bench_census_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_census_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_composition_attack.dir/bench_composition_attack.cc.o"
+  "CMakeFiles/bench_composition_attack.dir/bench_composition_attack.cc.o.d"
+  "bench_composition_attack"
+  "bench_composition_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_composition_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_composition_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_count_pso.dir/bench_count_pso.cc.o"
+  "CMakeFiles/bench_count_pso.dir/bench_count_pso.cc.o.d"
+  "bench_count_pso"
+  "bench_count_pso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_count_pso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

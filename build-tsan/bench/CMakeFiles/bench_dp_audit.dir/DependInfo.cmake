@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dp_audit.cc" "bench/CMakeFiles/bench_dp_audit.dir/bench_dp_audit.cc.o" "gcc" "bench/CMakeFiles/bench_dp_audit.dir/bench_dp_audit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/dp/CMakeFiles/pso_dp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/predicate/CMakeFiles/pso_predicate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/pso_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/pso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

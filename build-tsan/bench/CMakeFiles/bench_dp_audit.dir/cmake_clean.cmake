@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dp_audit.dir/bench_dp_audit.cc.o"
+  "CMakeFiles/bench_dp_audit.dir/bench_dp_audit.cc.o.d"
+  "bench_dp_audit"
+  "bench_dp_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dp_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dp_pso.dir/bench_dp_pso.cc.o"
+  "CMakeFiles/bench_dp_pso.dir/bench_dp_pso.cc.o.d"
+  "bench_dp_pso"
+  "bench_dp_pso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dp_pso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fundamental_law.dir/bench_fundamental_law.cc.o"
+  "CMakeFiles/bench_fundamental_law.dir/bench_fundamental_law.cc.o.d"
+  "bench_fundamental_law"
+  "bench_fundamental_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fundamental_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kanon_composition.dir/bench_kanon_composition.cc.o"
+  "CMakeFiles/bench_kanon_composition.dir/bench_kanon_composition.cc.o.d"
+  "bench_kanon_composition"
+  "bench_kanon_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kanon_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

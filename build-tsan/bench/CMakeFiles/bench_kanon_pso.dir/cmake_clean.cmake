@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kanon_pso.dir/bench_kanon_pso.cc.o"
+  "CMakeFiles/bench_kanon_pso.dir/bench_kanon_pso.cc.o.d"
+  "bench_kanon_pso"
+  "bench_kanon_pso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kanon_pso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_legal_theorems.dir/bench_legal_theorems.cc.o"
+  "CMakeFiles/bench_legal_theorems.dir/bench_legal_theorems.cc.o.d"
+  "bench_legal_theorems"
+  "bench_legal_theorems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_legal_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_membership.dir/bench_membership.cc.o"
+  "CMakeFiles/bench_membership.dir/bench_membership.cc.o.d"
+  "bench_membership"
+  "bench_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

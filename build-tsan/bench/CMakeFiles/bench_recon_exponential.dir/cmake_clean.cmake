@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recon_exponential.dir/bench_recon_exponential.cc.o"
+  "CMakeFiles/bench_recon_exponential.dir/bench_recon_exponential.cc.o.d"
+  "bench_recon_exponential"
+  "bench_recon_exponential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recon_exponential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recon_lp.dir/bench_recon_lp.cc.o"
+  "CMakeFiles/bench_recon_lp.dir/bench_recon_lp.cc.o.d"
+  "bench_recon_lp"
+  "bench_recon_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recon_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sweeney_linkage.cc" "bench/CMakeFiles/bench_sweeney_linkage.dir/bench_sweeney_linkage.cc.o" "gcc" "bench/CMakeFiles/bench_sweeney_linkage.dir/bench_sweeney_linkage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linkage/CMakeFiles/pso_linkage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kanon/CMakeFiles/pso_kanon.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/predicate/CMakeFiles/pso_predicate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/pso_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/pso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweeney_linkage.dir/bench_sweeney_linkage.cc.o"
+  "CMakeFiles/bench_sweeney_linkage.dir/bench_sweeney_linkage.cc.o.d"
+  "bench_sweeney_linkage"
+  "bench_sweeney_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweeney_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_reconstruction.dir/census_reconstruction.cpp.o"
+  "CMakeFiles/census_reconstruction.dir/census_reconstruction.cpp.o.d"
+  "census_reconstruction"
+  "census_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdpr_singling_out.dir/gdpr_singling_out.cpp.o"
+  "CMakeFiles/gdpr_singling_out.dir/gdpr_singling_out.cpp.o.d"
+  "gdpr_singling_out"
+  "gdpr_singling_out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdpr_singling_out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

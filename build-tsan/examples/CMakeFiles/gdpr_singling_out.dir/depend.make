@@ -1,0 +1,2 @@
+# Empty dependencies file for gdpr_singling_out.
+# This may be replaced when dependencies are built.

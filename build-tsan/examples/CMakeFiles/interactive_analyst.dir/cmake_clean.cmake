@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_analyst.dir/interactive_analyst.cpp.o"
+  "CMakeFiles/interactive_analyst.dir/interactive_analyst.cpp.o.d"
+  "interactive_analyst"
+  "interactive_analyst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_analyst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toy_anonymization.dir/toy_anonymization.cpp.o"
+  "CMakeFiles/toy_anonymization.dir/toy_anonymization.cpp.o.d"
+  "toy_anonymization"
+  "toy_anonymization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toy_anonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/census/population.cc" "src/census/CMakeFiles/pso_census.dir/population.cc.o" "gcc" "src/census/CMakeFiles/pso_census.dir/population.cc.o.d"
+  "/root/repo/src/census/reconstruct.cc" "src/census/CMakeFiles/pso_census.dir/reconstruct.cc.o" "gcc" "src/census/CMakeFiles/pso_census.dir/reconstruct.cc.o.d"
+  "/root/repo/src/census/reidentify.cc" "src/census/CMakeFiles/pso_census.dir/reidentify.cc.o" "gcc" "src/census/CMakeFiles/pso_census.dir/reidentify.cc.o.d"
+  "/root/repo/src/census/sat_reconstruct.cc" "src/census/CMakeFiles/pso_census.dir/sat_reconstruct.cc.o" "gcc" "src/census/CMakeFiles/pso_census.dir/sat_reconstruct.cc.o.d"
+  "/root/repo/src/census/tabulator.cc" "src/census/CMakeFiles/pso_census.dir/tabulator.cc.o" "gcc" "src/census/CMakeFiles/pso_census.dir/tabulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/solver/CMakeFiles/pso_solver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dp/CMakeFiles/pso_dp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/pso_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/pso_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/predicate/CMakeFiles/pso_predicate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_census.dir/population.cc.o"
+  "CMakeFiles/pso_census.dir/population.cc.o.d"
+  "CMakeFiles/pso_census.dir/reconstruct.cc.o"
+  "CMakeFiles/pso_census.dir/reconstruct.cc.o.d"
+  "CMakeFiles/pso_census.dir/reidentify.cc.o"
+  "CMakeFiles/pso_census.dir/reidentify.cc.o.d"
+  "CMakeFiles/pso_census.dir/sat_reconstruct.cc.o"
+  "CMakeFiles/pso_census.dir/sat_reconstruct.cc.o.d"
+  "CMakeFiles/pso_census.dir/tabulator.cc.o"
+  "CMakeFiles/pso_census.dir/tabulator.cc.o.d"
+  "libpso_census.a"
+  "libpso_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_common.dir/hash.cc.o"
+  "CMakeFiles/pso_common.dir/hash.cc.o.d"
+  "CMakeFiles/pso_common.dir/parallel.cc.o"
+  "CMakeFiles/pso_common.dir/parallel.cc.o.d"
+  "CMakeFiles/pso_common.dir/rng.cc.o"
+  "CMakeFiles/pso_common.dir/rng.cc.o.d"
+  "CMakeFiles/pso_common.dir/stats.cc.o"
+  "CMakeFiles/pso_common.dir/stats.cc.o.d"
+  "CMakeFiles/pso_common.dir/status.cc.o"
+  "CMakeFiles/pso_common.dir/status.cc.o.d"
+  "CMakeFiles/pso_common.dir/str_util.cc.o"
+  "CMakeFiles/pso_common.dir/str_util.cc.o.d"
+  "CMakeFiles/pso_common.dir/table.cc.o"
+  "CMakeFiles/pso_common.dir/table.cc.o.d"
+  "libpso_common.a"
+  "libpso_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

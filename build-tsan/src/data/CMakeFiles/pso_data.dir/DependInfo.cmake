@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/pso_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/pso_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/pso_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/pso_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/distribution.cc" "src/data/CMakeFiles/pso_data.dir/distribution.cc.o" "gcc" "src/data/CMakeFiles/pso_data.dir/distribution.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/pso_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/pso_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/pso_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/pso_data.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/pso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_data.dir/csv.cc.o"
+  "CMakeFiles/pso_data.dir/csv.cc.o.d"
+  "CMakeFiles/pso_data.dir/dataset.cc.o"
+  "CMakeFiles/pso_data.dir/dataset.cc.o.d"
+  "CMakeFiles/pso_data.dir/distribution.cc.o"
+  "CMakeFiles/pso_data.dir/distribution.cc.o.d"
+  "CMakeFiles/pso_data.dir/generators.cc.o"
+  "CMakeFiles/pso_data.dir/generators.cc.o.d"
+  "CMakeFiles/pso_data.dir/schema.cc.o"
+  "CMakeFiles/pso_data.dir/schema.cc.o.d"
+  "libpso_data.a"
+  "libpso_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_dp.dir/accountant.cc.o"
+  "CMakeFiles/pso_dp.dir/accountant.cc.o.d"
+  "CMakeFiles/pso_dp.dir/audit.cc.o"
+  "CMakeFiles/pso_dp.dir/audit.cc.o.d"
+  "CMakeFiles/pso_dp.dir/exponential.cc.o"
+  "CMakeFiles/pso_dp.dir/exponential.cc.o.d"
+  "CMakeFiles/pso_dp.dir/mechanisms.cc.o"
+  "CMakeFiles/pso_dp.dir/mechanisms.cc.o.d"
+  "libpso_dp.a"
+  "libpso_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kanon/attacks.cc" "src/kanon/CMakeFiles/pso_kanon.dir/attacks.cc.o" "gcc" "src/kanon/CMakeFiles/pso_kanon.dir/attacks.cc.o.d"
+  "/root/repo/src/kanon/checks.cc" "src/kanon/CMakeFiles/pso_kanon.dir/checks.cc.o" "gcc" "src/kanon/CMakeFiles/pso_kanon.dir/checks.cc.o.d"
+  "/root/repo/src/kanon/datafly.cc" "src/kanon/CMakeFiles/pso_kanon.dir/datafly.cc.o" "gcc" "src/kanon/CMakeFiles/pso_kanon.dir/datafly.cc.o.d"
+  "/root/repo/src/kanon/generalized.cc" "src/kanon/CMakeFiles/pso_kanon.dir/generalized.cc.o" "gcc" "src/kanon/CMakeFiles/pso_kanon.dir/generalized.cc.o.d"
+  "/root/repo/src/kanon/hierarchy.cc" "src/kanon/CMakeFiles/pso_kanon.dir/hierarchy.cc.o" "gcc" "src/kanon/CMakeFiles/pso_kanon.dir/hierarchy.cc.o.d"
+  "/root/repo/src/kanon/lattice.cc" "src/kanon/CMakeFiles/pso_kanon.dir/lattice.cc.o" "gcc" "src/kanon/CMakeFiles/pso_kanon.dir/lattice.cc.o.d"
+  "/root/repo/src/kanon/metrics.cc" "src/kanon/CMakeFiles/pso_kanon.dir/metrics.cc.o" "gcc" "src/kanon/CMakeFiles/pso_kanon.dir/metrics.cc.o.d"
+  "/root/repo/src/kanon/mondrian.cc" "src/kanon/CMakeFiles/pso_kanon.dir/mondrian.cc.o" "gcc" "src/kanon/CMakeFiles/pso_kanon.dir/mondrian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/predicate/CMakeFiles/pso_predicate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/pso_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/pso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_kanon.dir/attacks.cc.o"
+  "CMakeFiles/pso_kanon.dir/attacks.cc.o.d"
+  "CMakeFiles/pso_kanon.dir/checks.cc.o"
+  "CMakeFiles/pso_kanon.dir/checks.cc.o.d"
+  "CMakeFiles/pso_kanon.dir/datafly.cc.o"
+  "CMakeFiles/pso_kanon.dir/datafly.cc.o.d"
+  "CMakeFiles/pso_kanon.dir/generalized.cc.o"
+  "CMakeFiles/pso_kanon.dir/generalized.cc.o.d"
+  "CMakeFiles/pso_kanon.dir/hierarchy.cc.o"
+  "CMakeFiles/pso_kanon.dir/hierarchy.cc.o.d"
+  "CMakeFiles/pso_kanon.dir/lattice.cc.o"
+  "CMakeFiles/pso_kanon.dir/lattice.cc.o.d"
+  "CMakeFiles/pso_kanon.dir/metrics.cc.o"
+  "CMakeFiles/pso_kanon.dir/metrics.cc.o.d"
+  "CMakeFiles/pso_kanon.dir/mondrian.cc.o"
+  "CMakeFiles/pso_kanon.dir/mondrian.cc.o.d"
+  "libpso_kanon.a"
+  "libpso_kanon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_kanon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_legal.dir/report.cc.o"
+  "CMakeFiles/pso_legal.dir/report.cc.o.d"
+  "CMakeFiles/pso_legal.dir/verdict.cc.o"
+  "CMakeFiles/pso_legal.dir/verdict.cc.o.d"
+  "libpso_legal.a"
+  "libpso_legal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_legal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_linkage.dir/join_attack.cc.o"
+  "CMakeFiles/pso_linkage.dir/join_attack.cc.o.d"
+  "CMakeFiles/pso_linkage.dir/uniqueness.cc.o"
+  "CMakeFiles/pso_linkage.dir/uniqueness.cc.o.d"
+  "libpso_linkage.a"
+  "libpso_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_membership.dir/membership.cc.o"
+  "CMakeFiles/pso_membership.dir/membership.cc.o.d"
+  "libpso_membership.a"
+  "libpso_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

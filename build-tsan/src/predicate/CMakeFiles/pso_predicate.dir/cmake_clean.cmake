@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_predicate.dir/predicate.cc.o"
+  "CMakeFiles/pso_predicate.dir/predicate.cc.o.d"
+  "CMakeFiles/pso_predicate.dir/weight.cc.o"
+  "CMakeFiles/pso_predicate.dir/weight.cc.o.d"
+  "libpso_predicate.a"
+  "libpso_predicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

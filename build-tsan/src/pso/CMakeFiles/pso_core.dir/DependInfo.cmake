@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pso/adversaries.cc" "src/pso/CMakeFiles/pso_core.dir/adversaries.cc.o" "gcc" "src/pso/CMakeFiles/pso_core.dir/adversaries.cc.o.d"
+  "/root/repo/src/pso/composition_attack.cc" "src/pso/CMakeFiles/pso_core.dir/composition_attack.cc.o" "gcc" "src/pso/CMakeFiles/pso_core.dir/composition_attack.cc.o.d"
+  "/root/repo/src/pso/game.cc" "src/pso/CMakeFiles/pso_core.dir/game.cc.o" "gcc" "src/pso/CMakeFiles/pso_core.dir/game.cc.o.d"
+  "/root/repo/src/pso/interactive.cc" "src/pso/CMakeFiles/pso_core.dir/interactive.cc.o" "gcc" "src/pso/CMakeFiles/pso_core.dir/interactive.cc.o.d"
+  "/root/repo/src/pso/mechanisms.cc" "src/pso/CMakeFiles/pso_core.dir/mechanisms.cc.o" "gcc" "src/pso/CMakeFiles/pso_core.dir/mechanisms.cc.o.d"
+  "/root/repo/src/pso/synthetic.cc" "src/pso/CMakeFiles/pso_core.dir/synthetic.cc.o" "gcc" "src/pso/CMakeFiles/pso_core.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/kanon/CMakeFiles/pso_kanon.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dp/CMakeFiles/pso_dp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/predicate/CMakeFiles/pso_predicate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/pso_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/pso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

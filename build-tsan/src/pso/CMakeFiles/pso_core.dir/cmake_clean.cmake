@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_core.dir/adversaries.cc.o"
+  "CMakeFiles/pso_core.dir/adversaries.cc.o.d"
+  "CMakeFiles/pso_core.dir/composition_attack.cc.o"
+  "CMakeFiles/pso_core.dir/composition_attack.cc.o.d"
+  "CMakeFiles/pso_core.dir/game.cc.o"
+  "CMakeFiles/pso_core.dir/game.cc.o.d"
+  "CMakeFiles/pso_core.dir/interactive.cc.o"
+  "CMakeFiles/pso_core.dir/interactive.cc.o.d"
+  "CMakeFiles/pso_core.dir/mechanisms.cc.o"
+  "CMakeFiles/pso_core.dir/mechanisms.cc.o.d"
+  "CMakeFiles/pso_core.dir/synthetic.cc.o"
+  "CMakeFiles/pso_core.dir/synthetic.cc.o.d"
+  "libpso_core.a"
+  "libpso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_recon.dir/attacks.cc.o"
+  "CMakeFiles/pso_recon.dir/attacks.cc.o.d"
+  "CMakeFiles/pso_recon.dir/oracle.cc.o"
+  "CMakeFiles/pso_recon.dir/oracle.cc.o.d"
+  "libpso_recon.a"
+  "libpso_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/csp.cc" "src/solver/CMakeFiles/pso_solver.dir/csp.cc.o" "gcc" "src/solver/CMakeFiles/pso_solver.dir/csp.cc.o.d"
+  "/root/repo/src/solver/lp.cc" "src/solver/CMakeFiles/pso_solver.dir/lp.cc.o" "gcc" "src/solver/CMakeFiles/pso_solver.dir/lp.cc.o.d"
+  "/root/repo/src/solver/sat.cc" "src/solver/CMakeFiles/pso_solver.dir/sat.cc.o" "gcc" "src/solver/CMakeFiles/pso_solver.dir/sat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/pso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_solver.dir/csp.cc.o"
+  "CMakeFiles/pso_solver.dir/csp.cc.o.d"
+  "CMakeFiles/pso_solver.dir/lp.cc.o"
+  "CMakeFiles/pso_solver.dir/lp.cc.o.d"
+  "CMakeFiles/pso_solver.dir/sat.cc.o"
+  "CMakeFiles/pso_solver.dir/sat.cc.o.d"
+  "libpso_solver.a"
+  "libpso_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exponential_test.dir/exponential_test.cc.o"
+  "CMakeFiles/exponential_test.dir/exponential_test.cc.o.d"
+  "exponential_test"
+  "exponential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exponential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

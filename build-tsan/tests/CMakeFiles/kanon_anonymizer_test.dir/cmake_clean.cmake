@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_anonymizer_test.dir/kanon_anonymizer_test.cc.o"
+  "CMakeFiles/kanon_anonymizer_test.dir/kanon_anonymizer_test.cc.o.d"
+  "kanon_anonymizer_test"
+  "kanon_anonymizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_anonymizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

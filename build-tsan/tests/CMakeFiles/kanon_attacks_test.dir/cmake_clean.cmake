@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_attacks_test.dir/kanon_attacks_test.cc.o"
+  "CMakeFiles/kanon_attacks_test.dir/kanon_attacks_test.cc.o.d"
+  "kanon_attacks_test"
+  "kanon_attacks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_attacks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

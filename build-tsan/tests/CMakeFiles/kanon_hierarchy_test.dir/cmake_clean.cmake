@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_hierarchy_test.dir/kanon_hierarchy_test.cc.o"
+  "CMakeFiles/kanon_hierarchy_test.dir/kanon_hierarchy_test.cc.o.d"
+  "kanon_hierarchy_test"
+  "kanon_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

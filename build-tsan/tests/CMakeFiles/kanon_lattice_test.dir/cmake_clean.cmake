@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_lattice_test.dir/kanon_lattice_test.cc.o"
+  "CMakeFiles/kanon_lattice_test.dir/kanon_lattice_test.cc.o.d"
+  "kanon_lattice_test"
+  "kanon_lattice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_game_test.dir/pso_game_test.cc.o"
+  "CMakeFiles/pso_game_test.dir/pso_game_test.cc.o.d"
+  "pso_game_test"
+  "pso_game_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

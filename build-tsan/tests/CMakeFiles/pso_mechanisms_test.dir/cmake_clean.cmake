@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_mechanisms_test.dir/pso_mechanisms_test.cc.o"
+  "CMakeFiles/pso_mechanisms_test.dir/pso_mechanisms_test.cc.o.d"
+  "pso_mechanisms_test"
+  "pso_mechanisms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_mechanisms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_test.dir/recon_test.cc.o"
+  "CMakeFiles/recon_test.dir/recon_test.cc.o.d"
+  "recon_test"
+  "recon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_reconstruct_test.dir/sat_reconstruct_test.cc.o"
+  "CMakeFiles/sat_reconstruct_test.dir/sat_reconstruct_test.cc.o.d"
+  "sat_reconstruct_test"
+  "sat_reconstruct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_reconstruct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

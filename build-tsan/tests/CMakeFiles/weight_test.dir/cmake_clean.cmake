@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_test.dir/weight_test.cc.o"
+  "CMakeFiles/weight_test.dir/weight_test.cc.o.d"
+  "weight_test"
+  "weight_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psoctl.dir/psoctl.cc.o"
+  "CMakeFiles/psoctl.dir/psoctl.cc.o.d"
+  "psoctl"
+  "psoctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psoctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
