@@ -16,7 +16,10 @@
 namespace pso {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_baseline_isolation", argc, argv);
+  ctx.threads = 1;  // this harness runs serially
   bench::Banner(
       "E4: trivial (output-blind) attackers and the 37% baseline",
       "a weight-w predicate chosen independently of the data isolates "
@@ -74,10 +77,12 @@ int Run() {
                       "heavy weight => negligible isolation");
   checks.CheckGreater(at_peak, 10.0 * at_tiny,
                       "peak dominates the tiny-weight regime");
-  return checks.Finish("E4");
+  return bench::FinishBench(ctx, "E4", checks);
 }
 
 }  // namespace
 }  // namespace pso
 
-int main() { return pso::Run(); }
+int main(int argc, char** argv) {
+  return pso::Run(argc, argv);
+}

@@ -35,6 +35,8 @@ PipelineOutcome RunPipeline(const Population& pop,
 }
 
 int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_census_reconstruction", argc, argv);
   tools::Flags flags(argc, argv);
   bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
@@ -160,7 +162,7 @@ int Run(int argc, char** argv) {
   checks.Check(sat_checked > 0 && sat_agree == sat_checked,
                "SAT back-end agrees with the CSP engine on every checked "
                "block");
-  return checks.Finish("E9");
+  return bench::FinishBench(ctx, "E9", checks, par.get());
 }
 
 }  // namespace

@@ -25,6 +25,8 @@ namespace pso {
 namespace {
 
 int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_composition_attack", argc, argv);
   tools::Flags flags(argc, argv);
   bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
@@ -163,7 +165,7 @@ int Run(int argc, char** argv) {
                       "interactive exact sessions fall to the searcher");
   checks.CheckBetween(noisy_session_rate, 0.0, 0.1,
                       "per-query Laplace noise derails the binary search");
-  return checks.Finish("E6");
+  return bench::FinishBench(ctx, "E6", checks, par.get());
 }
 
 }  // namespace

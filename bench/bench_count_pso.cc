@@ -17,6 +17,8 @@ namespace pso {
 namespace {
 
 int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_count_pso", argc, argv);
   tools::Flags flags(argc, argv);
   bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
@@ -79,7 +81,7 @@ int Run(int argc, char** argv) {
   bench::ShapeChecks checks;
   checks.CheckBetween(max_advantage, -1.0, 0.05,
                       "no attacker beats the trivial baseline vs M#q");
-  return checks.Finish("E5");
+  return bench::FinishBench(ctx, "E5", checks, par.get());
 }
 
 }  // namespace

@@ -15,7 +15,10 @@
 namespace pso::dp {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_dp_audit", argc, argv);
+  ctx.threads = 1;  // this harness runs serially
   bench::Banner(
       "E13: auditing Definition 1.2 (Laplace mechanism, Theorem 1.3)",
       "measured privacy loss <= declared eps for the Laplace mechanism at "
@@ -97,10 +100,12 @@ int Run() {
                       "joint loss exceeds a single release's eps "
                       "(composition is real)");
 
-  return checks.Finish("E13");
+  return bench::FinishBench(ctx, "E13", checks);
 }
 
 }  // namespace
 }  // namespace pso::dp
 
-int main() { return pso::dp::Run(); }
+int main(int argc, char** argv) {
+  return pso::dp::Run(argc, argv);
+}

@@ -19,6 +19,8 @@ namespace pso {
 namespace {
 
 int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_dp_pso", argc, argv);
   tools::Flags flags(argc, argv);
   bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
@@ -99,7 +101,7 @@ int Run(int argc, char** argv) {
                       "no attacker gains advantage against any DP release");
   checks.CheckGreater(kanon_result.advantage, 0.5,
                       "same game, k-anonymity falls (the paper's contrast)");
-  return checks.Finish("E7");
+  return bench::FinishBench(ctx, "E7", checks, par.get());
 }
 
 }  // namespace

@@ -29,7 +29,10 @@ double Accuracy(size_t n, size_t queries, double alpha, uint64_t seed) {
   return recon::FractionAgree(r.estimate, secret);
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_fundamental_law", argc, argv);
+  ctx.threads = 1;  // this harness runs serially
   bench::Banner(
       "E3: the Fundamental Law of Information Recovery",
       "accuracy x #queries trade-off: too many too-accurate answers "
@@ -91,10 +94,12 @@ int Run() {
                       "more queries extract more at fixed noise");
   checks.CheckBetween(dp_worst, 0.0, 0.9,
                       "budget-calibrated DP noise holds the line");
-  return checks.Finish("E3");
+  return bench::FinishBench(ctx, "E3", checks);
 }
 
 }  // namespace
 }  // namespace pso
 
-int main() { return pso::Run(); }
+int main(int argc, char** argv) {
+  return pso::Run(argc, argv);
+}

@@ -19,7 +19,10 @@
 namespace pso::kanon {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_kanon_composition", argc, argv);
+  ctx.threads = 1;  // this harness runs serially
   bench::Banner(
       "E11: k-anonymity is not closed under composition (Ganta et al.)",
       "two k-anonymous releases of the same data, intersected, disclose "
@@ -84,10 +87,12 @@ int Run() {
   checks.CheckGreater(shrunk_k3, 0.3,
                       "composition shrinks candidate sets for many rows");
   checks.CheckBetween(composed.eps, 1.0, 1.0, "DP composes to eps exactly 1");
-  return checks.Finish("E11");
+  return bench::FinishBench(ctx, "E11", checks);
 }
 
 }  // namespace
 }  // namespace pso::kanon
 
-int main() { return pso::kanon::Run(); }
+int main(int argc, char** argv) {
+  return pso::kanon::Run(argc, argv);
+}

@@ -45,6 +45,8 @@ PsoGameResult RunGame(const Universe& u, size_t n, size_t k,
 }
 
 int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_kanon_pso", argc, argv);
   tools::Flags flags(argc, argv);
   bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
@@ -187,7 +189,7 @@ int Run(int argc, char** argv) {
                       "negligible (d=96 vs d=8 at k=10)");
   checks.CheckGreater(datafly_loss, mondrian_loss + 0.2,
                       "global recoding escapes only by destroying utility");
-  return checks.Finish("E8");
+  return bench::FinishBench(ctx, "E8", checks, par.get());
 }
 
 }  // namespace

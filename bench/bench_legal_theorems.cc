@@ -17,7 +17,10 @@
 namespace pso::legal {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_legal_theorems", argc, argv);
+  ctx.threads = 1;  // this harness runs serially
   bench::Banner(
       "E12: legal theorems (Section 2.4) and the Article 29 WP table",
       "k-anonymity (and variants) fail GDPR singling-out prevention "
@@ -85,10 +88,12 @@ int Run() {
                "(necessary != sufficient)");
   checks.Check(rows[0].conflict && rows[1].conflict && rows[2].conflict,
                "all three Article 29 WP rows conflict with the analysis");
-  return checks.Finish("E12");
+  return bench::FinishBench(ctx, "E12", checks);
 }
 
 }  // namespace
 }  // namespace pso::legal
 
-int main() { return pso::legal::Run(); }
+int main(int argc, char** argv) {
+  return pso::legal::Run(argc, argv);
+}

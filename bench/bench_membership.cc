@@ -16,6 +16,8 @@ namespace pso::membership {
 namespace {
 
 int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_membership", argc, argv);
   tools::Flags flags(argc, argv);
   bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
@@ -88,7 +90,7 @@ int Run(int argc, char** argv) {
                       "larger pools dilute the signal");
   checks.CheckBetween(auc_dp, 0.0, 0.75,
                       "eps=1 DP aggregates neutralize the attack");
-  return checks.Finish("E15");
+  return bench::FinishBench(ctx, "E15", checks, par.get());
 }
 
 }  // namespace

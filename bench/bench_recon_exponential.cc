@@ -23,6 +23,8 @@ namespace pso {
 namespace {
 
 int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_recon_exponential", argc, argv);
   tools::Flags flags(argc, argv);
   bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
@@ -113,7 +115,7 @@ int Run(int argc, char** argv) {
   checks.CheckBetween(bounded_large, 0.9, 1.0,
                       "random noise does NOT protect even at alpha = n/2 "
                       "(worst-case error is what Theorem 1.1 is about)");
-  return checks.Finish("E1");
+  return bench::FinishBench(ctx, "E1", checks, par.get());
 }
 
 }  // namespace

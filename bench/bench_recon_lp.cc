@@ -16,7 +16,10 @@
 namespace pso {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_recon_lp", argc, argv);
+  ctx.threads = 1;  // this harness runs serially
   bench::Banner(
       "E2: polynomial reconstruction by LP decoding (Theorem 1.1(ii))",
       "t = O(n) random subset queries with error alpha = c*sqrt(n) allow "
@@ -88,10 +91,12 @@ int Run() {
                       "LP decoding collapses at alpha = 4*sqrt(n)");
   checks.CheckGreater(lp_small_noise, lp_big_noise,
                       "crossover in c = alpha/sqrt(n) exists");
-  return checks.Finish("E2");
+  return bench::FinishBench(ctx, "E2", checks);
 }
 
 }  // namespace
 }  // namespace pso
 
-int main() { return pso::Run(); }
+int main(int argc, char** argv) {
+  return pso::Run(argc, argv);
+}

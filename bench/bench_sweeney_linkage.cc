@@ -17,7 +17,10 @@
 namespace pso::linkage {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_sweeney_linkage", argc, argv);
+  ctx.threads = 1;  // this harness runs serially
   bench::Banner(
       "E10: quasi-identifier uniqueness and the GIC linkage attack",
       "ZIP x birth date x sex uniquely identifies the vast majority; "
@@ -109,10 +112,12 @@ int Run() {
                       "5-anonymity blocks the unique-join attack");
   checks.CheckGreater(know8, 0.6,
                       "a few known ratings identify a subscriber (N-S)");
-  return checks.Finish("E10");
+  return bench::FinishBench(ctx, "E10", checks);
 }
 
 }  // namespace
 }  // namespace pso::linkage
 
-int main() { return pso::linkage::Run(); }
+int main(int argc, char** argv) {
+  return pso::linkage::Run(argc, argv);
+}

@@ -39,6 +39,8 @@ double AgeHistogramError(const Dataset& input, const Dataset& synthetic) {
 }
 
 int Run(int argc, char** argv) {
+  bench::BenchContext ctx =
+      bench::MakeBenchContext("bench_synthetic", argc, argv);
   tools::Flags flags(argc, argv);
   bench::ParallelConfig par = bench::MakeParallelConfig(flags.GetThreads());
   bench::Banner(
@@ -122,7 +124,7 @@ int Run(int argc, char** argv) {
                       "DP-marginal synthesis resists the copy attack");
   checks.CheckGreater(bootstrap_rate, marginal_rate + 0.8,
                       "generator choice separates failure from protection");
-  return checks.Finish("E16");
+  return bench::FinishBench(ctx, "E16", checks, par.get());
 }
 
 }  // namespace

@@ -13,10 +13,13 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
+#include "tools/flags.h"
 
 namespace pso::bench {
 
@@ -53,6 +56,12 @@ class ShapeChecks {
                 results_.size() - failures_, results_.size());
     return failures_ == 0 ? 0 : 1;
   }
+
+  /// The recorded (pass, description) verdicts, in insertion order.
+  const std::vector<std::pair<bool, std::string>>& results() const {
+    return results_;
+  }
+  size_t failures() const { return failures_; }
 
  private:
   std::vector<std::pair<bool, std::string>> results_;
@@ -116,6 +125,99 @@ inline void ReportSpeedup(const std::string& what, double serial_seconds,
       "\n-- wall clock: %s --\n  serial (1 thread): %.3fs   parallel "
       "(%zu threads): %.3fs   speedup: %.2fx\n",
       what.c_str(), serial_seconds, threads, parallel_seconds, speedup);
+}
+
+/// Per-run reporting state shared by every harness: parsed CLI flags, the
+/// run's wall-clock stopwatch (started at construction), and the --json
+/// destination. Create one at the top of Run() via MakeBenchContext.
+struct BenchContext {
+  std::string bench_name;  ///< Binary name, e.g. "bench_recon_lp".
+  std::string json_path;   ///< Empty when --json was not given.
+  size_t threads = 1;      ///< Resolved --threads value.
+  WallTimer timer;         ///< Wall clock for the whole run.
+};
+
+/// Parses the standard harness flags (--json <path>, --threads N) and
+/// starts the run stopwatch.
+inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
+                                     char** argv) {
+  tools::Flags flags(argc, argv);
+  BenchContext ctx;
+  ctx.bench_name = bench_name;
+  ctx.json_path = flags.GetString("json", "");
+  ctx.threads = flags.GetThreads();
+  return ctx;
+}
+
+/// The git revision baked in at configure time (root CMakeLists.txt).
+inline const char* GitSha() {
+#ifdef PSO_GIT_SHA
+  return PSO_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Serializes one finished run as the BENCH_*.json document (schema
+/// documented in EXPERIMENTS.md). `snapshot.counters` is the
+/// deterministic section: same seed + same thread count => identical
+/// values on every run. Wall clock, timers, and gauges are run-dependent.
+inline std::string BenchReportJson(const BenchContext& ctx,
+                                   const std::string& experiment,
+                                   const ShapeChecks& checks,
+                                   const metrics::Snapshot& snapshot) {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += StrFormat("  \"bench\": \"%s\",\n",
+                   metrics::JsonEscape(ctx.bench_name).c_str());
+  out += StrFormat("  \"experiment\": \"%s\",\n",
+                   metrics::JsonEscape(experiment).c_str());
+  out += StrFormat("  \"git_sha\": \"%s\",\n",
+                   metrics::JsonEscape(GitSha()).c_str());
+  out += StrFormat("  \"threads\": %zu,\n", ctx.threads);
+  out += StrFormat("  \"wall_clock_seconds\": %.6f,\n", ctx.timer.Seconds());
+  out += "  \"shape_checks\": [";
+  for (size_t i = 0; i < checks.results().size(); ++i) {
+    const auto& [ok, what] = checks.results()[i];
+    if (i > 0) out += ",";
+    out += StrFormat("\n    {\"pass\": %s, \"description\": \"%s\"}",
+                     ok ? "true" : "false",
+                     metrics::JsonEscape(what).c_str());
+  }
+  out += checks.results().empty() ? "],\n" : "\n  ],\n";
+  out += StrFormat("  \"checks_passed\": %zu,\n",
+                   checks.results().size() - checks.failures());
+  out += StrFormat("  \"checks_failed\": %zu,\n", checks.failures());
+  out += StrFormat("  \"metrics\": %s\n",
+                   metrics::SnapshotToJson(snapshot).c_str());
+  out += "}\n";
+  return out;
+}
+
+/// Finishes a harness run: records `pool`'s load-balance gauges, prints
+/// the shape-check summary, and — when --json was given — writes the
+/// machine-readable report. Returns the process exit code (nonzero on any
+/// failed check or an unwritable --json path).
+inline int FinishBench(const BenchContext& ctx, const std::string& experiment,
+                       const ShapeChecks& checks,
+                       const ThreadPool* pool = nullptr) {
+  RecordPoolGauges(pool);
+  int rc = checks.Finish(experiment);
+  if (!ctx.json_path.empty()) {
+    metrics::Snapshot snapshot = metrics::Registry::Global().TakeSnapshot();
+    std::string json = BenchReportJson(ctx, experiment, checks, snapshot);
+    std::FILE* f = std::fopen(ctx.json_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "cannot write JSON report to '%s'\n",
+                   ctx.json_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return rc != 0 ? rc : 1;
+    }
+    std::fclose(f);
+    std::printf("JSON report: %s\n", ctx.json_path.c_str());
+  }
+  return rc;
 }
 
 }  // namespace pso::bench

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/hash.cc" "src/common/CMakeFiles/pso_common.dir/hash.cc.o" "gcc" "src/common/CMakeFiles/pso_common.dir/hash.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/common/CMakeFiles/pso_common.dir/metrics.cc.o" "gcc" "src/common/CMakeFiles/pso_common.dir/metrics.cc.o.d"
   "/root/repo/src/common/parallel.cc" "src/common/CMakeFiles/pso_common.dir/parallel.cc.o" "gcc" "src/common/CMakeFiles/pso_common.dir/parallel.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/pso_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/pso_common.dir/rng.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/pso_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/pso_common.dir/stats.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/pso_common.dir/hash.cc.o"
   "CMakeFiles/pso_common.dir/hash.cc.o.d"
+  "CMakeFiles/pso_common.dir/metrics.cc.o"
+  "CMakeFiles/pso_common.dir/metrics.cc.o.d"
   "CMakeFiles/pso_common.dir/parallel.cc.o"
   "CMakeFiles/pso_common.dir/parallel.cc.o.d"
   "CMakeFiles/pso_common.dir/rng.cc.o"

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace pso::census {
@@ -195,6 +196,8 @@ ReconstructionReport ReconstructPopulation(
   // into index-addressed slots, then aggregate serially in block order.
   const size_t num_blocks = population.blocks.size();
   std::vector<BlockReconstruction> results(num_blocks);
+  metrics::GetCounter("census.blocks_reconstructed").Add(num_blocks);
+  metrics::ScopedSpan span("census.reconstruct_population");
   ParallelFor(options.pool, num_blocks, [&](size_t begin, size_t end) {
     for (size_t b = begin; b < end; ++b) {
       results[b] =

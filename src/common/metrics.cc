@@ -1,0 +1,178 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace pso::metrics {
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Timer& Registry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+void Registry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, timer] : timers_) {
+    snap.timers[name] = Snapshot::TimerValue{timer->seconds(), timer->count()};
+  }
+  snap.gauges = gauges_;
+  return snap;
+}
+
+void Registry::MergeFrom(const Snapshot& snap) {
+  for (const auto& [name, value] : snap.counters) GetCounter(name).Add(value);
+  for (const auto& [name, tv] : snap.timers) {
+    Timer& t = GetTimer(name);
+    // Record() bumps count by one; reproduce the source's interval count.
+    if (tv.count > 0) {
+      t.Record(tv.seconds);
+      for (uint64_t i = 1; i < tv.count; ++i) t.Record(0.0);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : snap.gauges) gauges_[name] = value;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, timer] : timers_) timer->Reset();
+  gauges_.clear();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Trims trailing zeros off a %.9f rendering so JSON numbers stay tidy
+// ("0.25" not "0.250000000") while keeping nanosecond resolution.
+std::string FormatDouble(double v) {
+  std::string s = StrFormat("%.9f", v);
+  size_t last = s.find_last_not_of('0');
+  if (last != std::string::npos) {
+    if (s[last] == '.') ++last;  // keep one digit after the point
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string SnapshotToJson(const Snapshot& snap) {
+  std::string out = "{";
+  out += "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": %llu", JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  out += "}, \"timers\": {";
+  first = true;
+  for (const auto& [name, tv] : snap.timers) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": {\"seconds\": %s, \"count\": %llu}",
+                     JsonEscape(name).c_str(),
+                     FormatDouble(tv.seconds).c_str(),
+                     static_cast<unsigned long long>(tv.count));
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": %s", JsonEscape(name).c_str(),
+                     FormatDouble(value).c_str());
+  }
+  out += "}}";
+  return out;
+}
+
+std::string SnapshotToText(const Snapshot& snap) {
+  if (snap.empty()) return "(no metrics recorded)\n";
+  size_t width = 0;
+  for (const auto& [name, v] : snap.counters) width = std::max(width, name.size());
+  for (const auto& [name, v] : snap.timers) width = std::max(width, name.size());
+  for (const auto& [name, v] : snap.gauges) width = std::max(width, name.size());
+  const int w = static_cast<int>(width);
+
+  std::string out;
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : snap.counters) {
+      out += StrFormat("  %-*s %llu\n", w, name.c_str(),
+                       static_cast<unsigned long long>(value));
+    }
+  }
+  if (!snap.timers.empty()) {
+    out += "timers:\n";
+    for (const auto& [name, tv] : snap.timers) {
+      out += StrFormat("  %-*s %.6fs over %llu span(s)\n", w, name.c_str(),
+                       tv.seconds, static_cast<unsigned long long>(tv.count));
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : snap.gauges) {
+      out += StrFormat("  %-*s %.6g\n", w, name.c_str(), value);
+    }
+  }
+  return out;
+}
+
+}  // namespace pso::metrics

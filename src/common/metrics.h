@@ -1,0 +1,176 @@
+// Process-wide observability: named counters, wall-clock timers, and
+// scoped spans, collected in a registry that benches and psoctl snapshot
+// into BENCH_*.json / --metrics dumps.
+//
+// Determinism contract (matters because BENCH_*.json files are diffed
+// across runs to detect perf and behavior regressions):
+//
+//  - Counters hold event totals (simplex pivots, SAT decisions, trials).
+//    They are atomic and only ever summed, so concurrent increments from
+//    ParallelFor workers commute: same seed + same thread count => the
+//    same counter values on every run, at any interleaving.
+//  - Timers and gauges hold wall-clock durations and point-in-time
+//    observations (worker-queue imbalance). These are inherently
+//    run-dependent and are reported in separate JSON sections so tooling
+//    can diff the deterministic "counters" object exactly.
+//
+// Hot-path usage: look the handle up once and keep the reference —
+// Registry::GetCounter takes a lock for the name lookup, but the returned
+// Counter/Timer lives for the registry's lifetime and its operations are
+// lock-free atomics.
+
+#ifndef PSO_COMMON_METRICS_H_
+#define PSO_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pso::metrics {
+
+/// Monotonically increasing event count. Thread-safe; increments commute.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Accumulated wall-clock time plus the number of recorded intervals.
+/// Thread-safe. Durations are run-dependent — never diff them for
+/// determinism checks; that is what counters are for.
+class Timer {
+ public:
+  /// Adds one interval of `seconds` wall-clock time.
+  void Record(double seconds) {
+    nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                     std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  double seconds() const {
+    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset() {
+    nanos_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> nanos_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Everything the registry knows at one instant. Counters/timers from a
+/// snapshot can be merged back into another registry (worker-local
+/// collection), and the maps are ordered so rendering is stable.
+struct Snapshot {
+  struct TimerValue {
+    double seconds = 0.0;
+    uint64_t count = 0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, TimerValue> timers;
+  std::map<std::string, double> gauges;
+
+  bool empty() const {
+    return counters.empty() && timers.empty() && gauges.empty();
+  }
+};
+
+/// Named metric store. A process-wide instance (Global()) backs the
+/// solvers and runners; tests build private instances and merge them to
+/// validate worker-local collection.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every instrumented module records into.
+  static Registry& Global();
+
+  /// Returns the counter/timer registered under `name`, creating it on
+  /// first use. The reference stays valid for the registry's lifetime.
+  Counter& GetCounter(const std::string& name);
+  Timer& GetTimer(const std::string& name);
+
+  /// Sets (overwrites) a point-in-time observation.
+  void SetGauge(const std::string& name, double value);
+
+  /// Copies every metric's current value. Safe to call concurrently with
+  /// updates; each value is read atomically (the snapshot as a whole is
+  /// not a consistent cut, which is fine for monotone counters).
+  Snapshot TakeSnapshot() const;
+
+  /// Adds `snap`'s counters and timers into this registry and overwrites
+  /// its gauges — the merge step for worker-local registries. Merging is
+  /// associative and commutative over counters/timers, so merge order
+  /// cannot change totals.
+  void MergeFrom(const Snapshot& snap);
+
+  /// Zeroes every counter and timer and drops all gauges. Handles remain
+  /// valid. Intended for tests and for psoctl between subcommands.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr gives handles stable addresses across map rehash/insert.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+  std::map<std::string, double> gauges_;
+};
+
+/// Shorthands for the global registry.
+inline Counter& GetCounter(const std::string& name) {
+  return Registry::Global().GetCounter(name);
+}
+inline Timer& GetTimer(const std::string& name) {
+  return Registry::Global().GetTimer(name);
+}
+inline void SetGauge(const std::string& name, double value) {
+  Registry::Global().SetGauge(name, value);
+}
+
+/// Records the wall-clock time between construction and destruction into
+/// a Timer. Non-copyable; stack-allocate one per measured scope.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Timer& timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  /// Span over the global registry's timer `name`.
+  explicit ScopedSpan(const std::string& name) : ScopedSpan(GetTimer(name)) {}
+  ~ScopedSpan() {
+    timer_.Record(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Timer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// JSON-escapes `s` (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Renders `snap` as a JSON object with "counters", "timers", and
+/// "gauges" members (each an object keyed by metric name, keys sorted).
+std::string SnapshotToJson(const Snapshot& snap);
+
+/// Renders `snap` as an aligned human-readable listing (psoctl --metrics).
+std::string SnapshotToText(const Snapshot& snap);
+
+}  // namespace pso::metrics
+
+#endif  // PSO_COMMON_METRICS_H_

@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace pso {
 
 namespace {
@@ -61,9 +63,10 @@ struct ForState {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = HardwareThreads();
+  task_counts_ = std::vector<std::atomic<uint64_t>>(num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -90,7 +93,7 @@ size_t ThreadPool::HardwareThreads() {
   return hc == 0 ? 1 : static_cast<size_t>(hc);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -100,8 +103,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    task_counts_[worker_index].fetch_add(1, std::memory_order_relaxed);
     task();
   }
+}
+
+std::vector<uint64_t> ThreadPool::WorkerTaskCounts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(task_counts_.size());
+  for (const auto& c : task_counts_) {
+    counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  return counts;
 }
 
 size_t DefaultChunkSize(size_t n) {
@@ -121,6 +134,13 @@ void ParallelFor(ThreadPool* pool, size_t n,
   if (n == 0) return;
   if (chunk_size == 0) chunk_size = DefaultChunkSize(n);
   const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  // Both totals depend only on the call sites' (n, chunk_size) sequence,
+  // never on the thread count, so they land in the deterministic section
+  // of metric snapshots.
+  metrics::GetCounter("parallel.for_calls").Add(1);
+  metrics::GetCounter("parallel.chunks").Add(num_chunks);
+  metrics::GetCounter("parallel.items").Add(n);
 
   if (pool == nullptr || pool->num_threads() == 0 || num_chunks == 1) {
     for (size_t c = 0; c < num_chunks; ++c) {
@@ -149,6 +169,24 @@ void ParallelFor(ThreadPool* pool, size_t n,
   state->done_cv.wait(lock,
                       [&] { return state->done_chunks == state->num_chunks; });
   if (state->error) std::rethrow_exception(state->error);
+}
+
+void RecordPoolGauges(const ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() == 0) return;
+  std::vector<uint64_t> counts = pool->WorkerTaskCounts();
+  uint64_t total = 0;
+  uint64_t max = 0;
+  uint64_t min = counts.empty() ? 0 : counts[0];
+  for (uint64_t c : counts) {
+    total += c;
+    max = std::max(max, c);
+    min = std::min(min, c);
+  }
+  metrics::SetGauge("pool.workers", static_cast<double>(counts.size()));
+  metrics::SetGauge("pool.tasks_total", static_cast<double>(total));
+  metrics::SetGauge("pool.tasks_max", static_cast<double>(max));
+  metrics::SetGauge("pool.tasks_min", static_cast<double>(min));
+  metrics::SetGauge("pool.imbalance", static_cast<double>(max - min));
 }
 
 }  // namespace pso

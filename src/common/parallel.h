@@ -22,8 +22,10 @@
 #ifndef PSO_COMMON_PARALLEL_H_
 #define PSO_COMMON_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -51,16 +53,23 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
+  /// Tasks each worker has executed so far, indexed by worker. Which
+  /// worker dequeues a given task is scheduler-dependent, so these are
+  /// observability gauges (load-imbalance reports), never inputs to any
+  /// deterministic computation.
+  std::vector<uint64_t> WorkerTaskCounts() const;
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static size_t HardwareThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
+  std::vector<std::atomic<uint64_t>> task_counts_;  // sized in constructor
   std::vector<std::thread> threads_;
 };
 
@@ -87,6 +96,12 @@ size_t NumChunks(size_t n, size_t chunk_size = 0);
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t begin, size_t end)>& body,
                  size_t chunk_size = 0);
+
+/// Publishes `pool`'s per-worker task distribution into the global metric
+/// registry as gauges (pool.workers, pool.tasks_total, pool.tasks_max,
+/// pool.tasks_min, pool.imbalance). Gauges are run-dependent: task-to-
+/// worker assignment is a scheduler accident. No-op for a null pool.
+void RecordPoolGauges(const ThreadPool* pool);
 
 }  // namespace pso
 

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kInfeasible:
       return "Infeasible";
+    case StatusCode::kUnbounded:
+      return "Unbounded";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kInfeasible,  ///< An optimization/search problem has no feasible solution.
+  kUnbounded,   ///< An optimization problem's objective is unbounded.
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -29,12 +29,57 @@ std::string DatasetToCsv(const Dataset& dataset) {
   return out;
 }
 
+namespace {
+
+// Splits `csv` into record lines, accepting LF, CRLF, and lone-CR line
+// endings uniformly (a CRLF file must not leave '\r' glued onto the last
+// cell of every row).
+std::vector<std::string> SplitCsvLines(const std::string& csv) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (size_t i = 0; i < csv.size(); ++i) {
+    char c = csv[i];
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      lines.push_back(std::move(current));
+      current.clear();
+      if (i + 1 < csv.size() && csv[i + 1] == '\n') ++i;  // CRLF pair
+    } else {
+      current += c;
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+// Splits one record line into cells. The dialect is deliberately minimal
+// (no quoting): a '"' anywhere means the producer expected RFC 4180
+// quoted-cell semantics — splitting such a line on ',' would silently
+// shear a quoted cell apart, so reject it loudly instead.
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+                                                size_t line_number) {
+  if (line.find('"') != std::string::npos) {
+    return Status::InvalidArgument(StrFormat(
+        "line %zu contains a double quote: quoted cells (e.g. embedded "
+        "commas) are not supported by this CSV dialect",
+        line_number));
+  }
+  return Split(line, ',');
+}
+
+}  // namespace
+
 Result<Dataset> DatasetFromCsv(const Schema& schema, const std::string& csv) {
-  std::vector<std::string> lines = Split(csv, '\n');
+  std::vector<std::string> lines = SplitCsvLines(csv);
   if (lines.empty() || Trim(lines[0]).empty()) {
     return Status::InvalidArgument("CSV has no header row");
   }
-  std::vector<std::string> header = Split(Trim(lines[0]), ',');
+  Result<std::vector<std::string>> header_cells =
+      SplitCsvRecord(Trim(lines[0]), 1);
+  if (!header_cells.ok()) return header_cells.status();
+  std::vector<std::string> header = std::move(header_cells).value();
   if (header.size() != schema.NumAttributes()) {
     return Status::InvalidArgument(
         StrFormat("CSV has %zu columns, schema has %zu", header.size(),
@@ -52,7 +97,9 @@ Result<Dataset> DatasetFromCsv(const Schema& schema, const std::string& csv) {
   for (size_t li = 1; li < lines.size(); ++li) {
     std::string line = Trim(lines[li]);
     if (line.empty()) continue;
-    std::vector<std::string> cells = Split(line, ',');
+    Result<std::vector<std::string>> split = SplitCsvRecord(line, li + 1);
+    if (!split.ok()) return split.status();
+    std::vector<std::string> cells = std::move(split).value();
     if (cells.size() != header.size()) {
       return Status::InvalidArgument(
           StrFormat("line %zu has %zu cells, expected %zu", li + 1,

@@ -14,7 +14,10 @@ namespace pso {
 std::string DatasetToCsv(const Dataset& dataset);
 
 /// Parses CSV text (header row required, columns matched to `schema` by
-/// name) into a dataset. Fails on unknown columns, missing columns, or
+/// name) into a dataset. LF, CRLF, and lone-CR line endings are all
+/// accepted. The dialect is quote-free: a line containing '"' (RFC 4180
+/// quoted cells, e.g. embedded commas) fails with InvalidArgument rather
+/// than mis-splitting. Also fails on unknown columns, missing columns, or
 /// out-of-domain values.
 Result<Dataset> DatasetFromCsv(const Schema& schema, const std::string& csv);
 

@@ -4,12 +4,15 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace pso::dp {
 
 AuditResult AuditPrivacyLoss(const BucketizedMechanism& mechanism,
                              size_t trials, Rng& rng, size_t min_support) {
   PSO_CHECK(trials > 0);
+  metrics::GetCounter("dp.audit_trials").Add(2 * trials);  // both inputs
+  metrics::ScopedSpan span("dp.audit");
   std::map<int64_t, std::pair<size_t, size_t>> histogram;
   for (size_t t = 0; t < trials; ++t) {
     ++histogram[mechanism(0, rng)].first;

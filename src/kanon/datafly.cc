@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/str_util.h"
 
 namespace pso::kanon {
@@ -29,6 +30,9 @@ QiKey MakeKey(const Record& r, const HierarchySet& hs,
 Result<AnonymizationResult> DataflyAnonymize(const Dataset& data,
                                              const HierarchySet& hierarchies,
                                              const DataflyOptions& options) {
+  metrics::GetCounter("kanon.datafly_runs").Add(1);
+  metrics::GetCounter("kanon.records_anonymized").Add(data.size());
+  metrics::ScopedSpan span("kanon.anonymize");
   if (data.empty()) {
     return Status::InvalidArgument("cannot anonymize an empty dataset");
   }

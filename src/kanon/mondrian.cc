@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace pso::kanon {
 
@@ -40,6 +41,9 @@ int64_t MedianOf(const Dataset& data, const std::vector<size_t>& rows,
 Result<AnonymizationResult> MondrianAnonymize(const Dataset& data,
                                               const HierarchySet& hierarchies,
                                               const MondrianOptions& options) {
+  metrics::GetCounter("kanon.mondrian_runs").Add(1);
+  metrics::GetCounter("kanon.records_anonymized").Add(data.size());
+  metrics::ScopedSpan span("kanon.anonymize");
   if (data.empty()) {
     return Status::InvalidArgument("cannot anonymize an empty dataset");
   }

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace pso::linkage {
 
@@ -45,6 +46,9 @@ double LinkageReport::confirmed_rate() const {
 LinkageReport JoinAttack(const IdentifiedPopulation& pop,
                          const std::vector<VoterEntry>& voter_file,
                          const std::vector<size_t>& qi_attrs) {
+  metrics::GetCounter("linkage.join_attacks").Add(1);
+  metrics::GetCounter("linkage.released_records").Add(pop.records.size());
+  metrics::ScopedSpan span("linkage.join_attack");
   LinkageReport report;
   report.released_records = pop.records.size();
   report.voter_entries = voter_file.size();
@@ -78,6 +82,9 @@ LinkageReport JoinAttackGeneralized(
     const std::vector<VoterEntry>& voter_file,
     const std::vector<size_t>& qi_attrs) {
   PSO_CHECK(release.size() == pop.records.size());
+  metrics::GetCounter("linkage.join_attacks").Add(1);
+  metrics::GetCounter("linkage.released_records").Add(release.size());
+  metrics::ScopedSpan span("linkage.join_attack");
   LinkageReport report;
   report.released_records = release.size();
   report.voter_entries = voter_file.size();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace pso::membership {
@@ -65,6 +66,8 @@ MembershipResult RunMembershipExperiment(const Universe& universe,
   // Trial t writes slots in_stats[t] / out_stats[t] from its own
   // counter-derived stream: the statistic vectors are identical at any
   // thread count.
+  metrics::GetCounter("membership.trials").Add(options.trials);
+  metrics::ScopedSpan span("membership.experiment");
   std::vector<double> in_stats(options.trials);
   std::vector<double> out_stats(options.trials);
   ParallelFor(options.pool, options.trials, [&](size_t begin, size_t end) {

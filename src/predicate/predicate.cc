@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/str_util.h"
 
 namespace pso {
@@ -387,6 +388,7 @@ size_t CountMatches(const Predicate& pred, const Dataset& dataset) {
 }
 
 bool Isolates(const Predicate& pred, const Dataset& dataset) {
+  metrics::GetCounter("predicate.isolation_checks").Add(1);
   size_t count = 0;
   for (const Record& r : dataset.records()) {
     if (pred.Eval(r)) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
 #include "pso/interactive.h"
@@ -82,6 +83,8 @@ PsoGameResult PsoGame::RunTrialLoop(
   const size_t chunk = DefaultChunkSize(options_.trials);
   std::vector<TrialAccum> accums(NumChunks(options_.trials, chunk));
 
+  metrics::GetCounter("pso.trials").Add(options_.trials);
+  metrics::ScopedSpan span("pso.trial_loop");
   ParallelFor(
       options_.pool, options_.trials,
       [&](size_t begin, size_t end) {

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "solver/lp.h"
 
@@ -44,6 +45,8 @@ Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha,
                                      ThreadPool* pool) {
   const size_t n = oracle.n();
   PSO_CHECK_MSG(n <= 24, "exhaustive attack is exponential; keep n <= 24");
+  metrics::GetCounter("recon.exhaustive_decodes").Add(1);
+  metrics::ScopedSpan span("recon.exhaustive_decode");
 
   // Ask all 2^n subset queries (serial: the oracle is stateful).
   const uint64_t num_masks = 1ULL << n;
@@ -128,6 +131,8 @@ Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha,
 Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
                                      size_t num_queries, Rng& rng) {
   const size_t n = oracle.n();
+  metrics::GetCounter("recon.lp_decodes").Add(1);
+  metrics::GetCounter("recon.queries").Add(num_queries);
   QuerySet qs = DrawRandomQueries(oracle, num_queries, rng);
 
   LpProblem lp;
@@ -164,6 +169,9 @@ Reconstruction LeastSquaresReconstruct(SubsetSumOracle& oracle,
                                        size_t num_queries, Rng& rng,
                                        size_t iterations) {
   const size_t n = oracle.n();
+  metrics::GetCounter("recon.lsq_decodes").Add(1);
+  metrics::GetCounter("recon.queries").Add(num_queries);
+  metrics::ScopedSpan span("recon.lsq_decode");
   QuerySet qs = DrawRandomQueries(oracle, num_queries, rng);
   const size_t m = num_queries;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/str_util.h"
 
 namespace pso {
@@ -135,7 +136,33 @@ void LpProblem::AddConstraint(
   rows_.push_back(Row{coeffs, rel, rhs});
 }
 
+namespace {
+
+// Publishes one solve's counters to the global registry on every exit
+// path (optimal, infeasible, unbounded, iteration limit). Counters are
+// seed-deterministic totals; the wall-clock span is reported separately.
+struct SolveMetrics {
+  size_t phase1_iterations = 0;
+  size_t total_iterations = 0;
+  size_t tableau_rows = 0;
+  size_t tableau_cols = 0;
+  metrics::ScopedSpan span{"lp.solve"};
+
+  ~SolveMetrics() {
+    metrics::GetCounter("lp.solves").Add(1);
+    metrics::GetCounter("lp.pivots").Add(total_iterations);
+    metrics::GetCounter("lp.phase1_iterations").Add(phase1_iterations);
+    metrics::GetCounter("lp.phase2_iterations")
+        .Add(total_iterations - phase1_iterations);
+    metrics::GetCounter("lp.tableau_rows").Add(tableau_rows);
+    metrics::GetCounter("lp.tableau_cols").Add(tableau_cols);
+  }
+};
+
+}  // namespace
+
 Result<LpSolution> LpProblem::Solve() const {
+  SolveMetrics solve_metrics;
   const size_t n = lower_.size();
 
   // Shifted problem: y_i = x_i - lb_i >= 0. Upper bounds become rows.
@@ -237,6 +264,8 @@ Result<LpSolution> LpProblem::Solve() const {
     }
   }
   num_art = art_at - art_begin;
+  solve_metrics.tableau_rows = m;
+  solve_metrics.tableau_cols = cols;
 
   size_t iterations = 0;
 
@@ -250,7 +279,10 @@ Result<LpSolution> LpProblem::Solve() const {
       }
     }
     std::vector<bool> allowed(cols, true);
-    if (!RunSimplex(t, basis, allowed, &iterations)) {
+    bool phase1_done = RunSimplex(t, basis, allowed, &iterations);
+    solve_metrics.phase1_iterations = iterations;
+    solve_metrics.total_iterations = iterations;
+    if (!phase1_done) {
       return Status::Internal("phase-1 iteration limit exceeded");
     }
     if (-t.ObjValue() > 1e-6) {
@@ -290,11 +322,15 @@ Result<LpSolution> LpProblem::Solve() const {
   }
   std::vector<bool> allowed(cols, true);
   for (size_t c = art_begin; c < cols; ++c) allowed[c] = false;
-  if (!RunSimplex(t, basis, allowed, &iterations)) {
+  bool phase2_done = RunSimplex(t, basis, allowed, &iterations);
+  solve_metrics.total_iterations = iterations;
+  if (!phase2_done) {
     return Status::Internal("phase-2 iteration limit exceeded");
   }
   // Unboundedness check: a negative reduced cost with no leaving row leaves
-  // the objective row non-optimal; detect by rescanning.
+  // the objective row non-optimal; detect by rescanning. This is a property
+  // of the model (a cost ray the constraints never cap), not a solver
+  // failure, so it gets its own status code.
   for (size_t c = 0; c < cols; ++c) {
     if (allowed[c] && t.Obj(c) < -1e-6) {
       bool has_leaving = false;
@@ -304,7 +340,10 @@ Result<LpSolution> LpProblem::Solve() const {
           break;
         }
       }
-      if (!has_leaving) return Status::Internal("LP is unbounded");
+      if (!has_leaving) {
+        return Status::Unbounded(StrFormat(
+            "objective improves without bound along column %zu", c));
+      }
     }
   }
 

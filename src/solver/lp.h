@@ -53,8 +53,9 @@ class LpProblem {
   size_t num_constraints() const { return rows_.size(); }
 
   /// Solves to optimality. Returns kInfeasible if phase 1 cannot reach a
-  /// feasible basis, kInternal on unboundedness (our decoding LPs are
-  /// always bounded) or iteration-limit exhaustion.
+  /// feasible basis, kUnbounded if the objective improves without bound
+  /// (our decoding LPs are always bounded, so callers may treat it as a
+  /// modeling error), and kInternal on iteration-limit exhaustion.
   Result<LpSolution> Solve() const;
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace pso {
 
@@ -166,7 +167,21 @@ void SatSolver::Unwind(std::vector<Lit>& trail, size_t keep) {
 Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
   decisions_ = 0;
   propagations_ = 0;
+  backtracks_ = 0;
   std::fill(values_.begin(), values_.end(), Assign::kUnset);
+
+  // Publish this solve's search statistics on every exit path. The totals
+  // are input-deterministic, so the registry's sums stay reproducible.
+  struct Publish {
+    SatSolver* solver;
+    metrics::ScopedSpan span{"sat.solve"};
+    ~Publish() {
+      metrics::GetCounter("sat.solves").Add(1);
+      metrics::GetCounter("sat.decisions").Add(solver->decisions_);
+      metrics::GetCounter("sat.propagations").Add(solver->propagations_);
+      metrics::GetCounter("sat.backtracks").Add(solver->backtracks_);
+    }
+  } publish{this};
 
   SatSolution out;
   if (trivially_unsat_) {
@@ -180,6 +195,7 @@ Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
     if (clause.size() == 1) {
       if (!Enqueue(clause[0], trail)) {
         out.satisfiable = false;
+        out.propagations = propagations_;
         return out;
       }
     }
@@ -216,6 +232,7 @@ Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
       }
       out.decisions = decisions_;
       out.propagations = propagations_;
+      out.backtracks = backtracks_;
       return out;
     }
 
@@ -238,11 +255,13 @@ Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
         out.satisfiable = false;
         out.decisions = decisions_;
         out.propagations = propagations_;
+        out.backtracks = backtracks_;
         return out;
       }
       Frame& frame = stack.back();
       Unwind(trail, frame.trail_size);
       frame.tried_second = true;
+      ++backtracks_;
       ok = Enqueue(MakeLit(frame.var, false), trail);
     }
   }

@@ -32,6 +32,7 @@ struct SatSolution {
   std::vector<bool> assignment;  ///< Per-variable value when satisfiable.
   size_t decisions = 0;          ///< Branching decisions explored.
   size_t propagations = 0;       ///< Unit propagations performed.
+  size_t backtracks = 0;         ///< Decision flips forced by conflicts.
 };
 
 /// CNF formula and DPLL search.
@@ -94,6 +95,7 @@ class SatSolver {
   std::vector<double> activity_;
   size_t decisions_ = 0;
   size_t propagations_ = 0;
+  size_t backtracks_ = 0;
 };
 
 }  // namespace pso

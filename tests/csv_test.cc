@@ -77,5 +77,54 @@ TEST(CsvTest, MissingFileIsNotFound) {
   EXPECT_FALSE(ReadCsvFile(TestSchema(), "/nonexistent/x.csv").ok());
 }
 
+TEST(CsvTest, CrlfLineEndingsParse) {
+  Result<Dataset> d =
+      DatasetFromCsv(TestSchema(), "age,sex\r\n30,F\r\n31,M\r\n");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 2u);
+  EXPECT_EQ(d->record(0), (Record{30, 0}));
+  EXPECT_EQ(d->record(1), (Record{31, 1}));
+}
+
+TEST(CsvTest, LoneCarriageReturnLineEndingsParse) {
+  Result<Dataset> d = DatasetFromCsv(TestSchema(), "age,sex\r30,F\r31,M\r");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 2u);
+}
+
+TEST(CsvTest, CrlfRoundTripThroughRewrittenEndings) {
+  // Serialize with LF, rewrite to CRLF (what a Windows editor does), and
+  // parse back: the dataset must survive unchanged.
+  Schema s = TestSchema();
+  Dataset d(s, {{20, 1}, {21, 0}});
+  std::string csv = DatasetToCsv(d);
+  std::string crlf;
+  for (char c : csv) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  Result<Dataset> back = DatasetFromCsv(s, crlf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->record(0), (Record{20, 1}));
+  EXPECT_EQ(back->record(1), (Record{21, 0}));
+}
+
+TEST(CsvTest, QuotedCellWithCommaIsInvalidArgumentNotMisSplit) {
+  // A quoted cell would shear into two cells under blind comma-splitting;
+  // the parser must refuse it loudly instead.
+  Result<Dataset> d =
+      DatasetFromCsv(TestSchema(), "age,sex\n\"30,extra\",F\n");
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(d.status().message().find("quote"), std::string::npos);
+}
+
+TEST(CsvTest, QuotedHeaderIsInvalidArgument) {
+  Result<Dataset> d = DatasetFromCsv(TestSchema(), "\"age\",sex\n30,F\n");
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace pso

@@ -89,7 +89,34 @@ TEST(LpTest, UnboundedDetected) {
   LpProblem lp;
   lp.AddVariable(0, LpProblem::kInfinity, -1.0);
   auto sol = lp.Solve();
-  EXPECT_FALSE(sol.ok());
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kUnbounded);
+}
+
+TEST(LpTest, UnboundedWithConstraintsIsNotInternal) {
+  // min -x - y  s.t.  x - y <= 1, x,y >= 0: the ray (t, t) improves the
+  // objective forever. Must classify as kUnbounded — a model property —
+  // never as kInternal (a solver failure).
+  LpProblem lp;
+  size_t x = lp.AddVariable(0, LpProblem::kInfinity, -1.0);
+  size_t y = lp.AddVariable(0, LpProblem::kInfinity, -1.0);
+  lp.AddConstraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEq, 1.0);
+  auto sol = lp.Solve();
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kUnbounded);
+  EXPECT_NE(sol.status().code(), StatusCode::kInternal);
+}
+
+TEST(LpTest, BoundingTheRayRestoresOptimality) {
+  // The same model with an upper bound on each variable is bounded again:
+  // regression pair for the unbounded classifier.
+  LpProblem lp;
+  size_t x = lp.AddVariable(0, 10.0, -1.0);
+  size_t y = lp.AddVariable(0, 10.0, -1.0);
+  lp.AddConstraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEq, 1.0);
+  auto sol = lp.Solve();
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -20.0, 1e-7);
 }
 
 TEST(LpTest, RedundantConstraintsHandled) {

@@ -1,0 +1,200 @@
+// Tests for the metrics registry: counter/timer/span semantics,
+// concurrent increments under ParallelFor (the TSan `parallel` lane runs
+// this suite), and merge determinism at 1 vs N threads.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/parallel.h"
+
+namespace pso {
+namespace {
+
+TEST(MetricsTest, CounterAddAndReset) {
+  metrics::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, TimerAccumulatesIntervals) {
+  metrics::Timer t;
+  t.Record(0.25);
+  t.Record(0.5);
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_NEAR(t.seconds(), 0.75, 1e-6);
+  t.Reset();
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.seconds(), 0.0);
+}
+
+TEST(MetricsTest, ScopedSpanRecordsOneInterval) {
+  metrics::Timer t;
+  {
+    metrics::ScopedSpan span(t);
+  }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(MetricsTest, RegistryHandlesAreStableAndNamed) {
+  metrics::Registry reg;
+  metrics::Counter& a = reg.GetCounter("a");
+  metrics::Counter& b = reg.GetCounter("b");
+  b.Add(7);
+  // Same name => same handle, even after more insertions.
+  EXPECT_EQ(&a, &reg.GetCounter("a"));
+  a.Add(3);
+  metrics::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("a"), 3u);
+  EXPECT_EQ(snap.counters.at("b"), 7u);
+}
+
+TEST(MetricsTest, GaugesOverwrite) {
+  metrics::Registry reg;
+  reg.SetGauge("g", 1.0);
+  reg.SetGauge("g", 2.5);
+  EXPECT_EQ(reg.TakeSnapshot().gauges.at("g"), 2.5);
+}
+
+TEST(MetricsTest, ResetAllZeroesButKeepsHandles) {
+  metrics::Registry reg;
+  metrics::Counter& c = reg.GetCounter("c");
+  c.Add(5);
+  reg.GetTimer("t").Record(1.0);
+  reg.SetGauge("g", 9.0);
+  reg.ResetAll();
+  metrics::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);
+  EXPECT_EQ(snap.timers.at("t").count, 0u);
+  EXPECT_TRUE(snap.gauges.empty());
+  c.Add(1);  // handle still valid
+  EXPECT_EQ(reg.TakeSnapshot().counters.at("c"), 1u);
+}
+
+TEST(MetricsTest, MergeFromAddsCountersAndTimersOverwritesGauges) {
+  metrics::Registry dst;
+  dst.GetCounter("shared").Add(10);
+  dst.SetGauge("g", 1.0);
+
+  metrics::Registry src;
+  src.GetCounter("shared").Add(5);
+  src.GetCounter("fresh").Add(2);
+  src.GetTimer("t").Record(0.5);
+  src.GetTimer("t").Record(0.25);
+  src.SetGauge("g", 3.0);
+
+  dst.MergeFrom(src.TakeSnapshot());
+  metrics::Snapshot snap = dst.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("shared"), 15u);
+  EXPECT_EQ(snap.counters.at("fresh"), 2u);
+  EXPECT_EQ(snap.timers.at("t").count, 2u);
+  EXPECT_NEAR(snap.timers.at("t").seconds, 0.75, 1e-6);
+  EXPECT_EQ(snap.gauges.at("g"), 3.0);
+}
+
+// Concurrent increments: every ParallelFor worker hammers the same
+// counters through the registry. Run under PSO_SANITIZE=thread to prove
+// the registry race-free; the totals check exactness (no lost updates).
+TEST(MetricsTest, ConcurrentIncrementsUnderParallelForAreExact) {
+  metrics::Registry reg;
+  metrics::Counter& items = reg.GetCounter("items");
+  metrics::Timer& spans = reg.GetTimer("spans");
+  const size_t n = 100000;
+  ThreadPool pool(4);
+  ParallelFor(&pool, n, [&](size_t begin, size_t end) {
+    metrics::ScopedSpan span(spans);
+    // Mix per-item increments with one bulk Add per chunk.
+    for (size_t i = begin; i < end; ++i) reg.GetCounter("per_item").Add(1);
+    items.Add(end - begin);
+  });
+  metrics::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("items"), n);
+  EXPECT_EQ(snap.counters.at("per_item"), n);
+  EXPECT_EQ(snap.timers.at("spans").count, NumChunks(n));
+}
+
+// Merge determinism: worker-local registries merged in chunk order must
+// produce the same counter totals no matter how many threads ran, and
+// the same totals as direct shared-registry accumulation.
+TEST(MetricsTest, MergeDeterminismOneVsManyThreads) {
+  const size_t n = 20000;
+  auto run_at = [&](size_t threads) {
+    ThreadPool pool(threads);
+    const size_t chunk = DefaultChunkSize(n);
+    // One local registry per chunk, merged in chunk-index order.
+    std::vector<metrics::Registry> locals(NumChunks(n, chunk));
+    ParallelFor(
+        &pool, n,
+        [&](size_t begin, size_t end) {
+          metrics::Registry& local = locals[begin / chunk];
+          for (size_t i = begin; i < end; ++i) {
+            local.GetCounter("events").Add(i % 7 == 0 ? 3 : 1);
+          }
+          local.GetTimer("chunk").Record(0.001);
+        },
+        chunk);
+    metrics::Registry merged;
+    for (metrics::Registry& local : locals) {
+      merged.MergeFrom(local.TakeSnapshot());
+    }
+    return merged.TakeSnapshot();
+  };
+
+  metrics::Snapshot at1 = run_at(1);
+  metrics::Snapshot at4 = run_at(4);
+  EXPECT_EQ(at1.counters.at("events"), at4.counters.at("events"));
+  EXPECT_EQ(at1.timers.at("chunk").count, at4.timers.at("chunk").count);
+  EXPECT_EQ(metrics::SnapshotToJson(at1).find("\"events\""),
+            metrics::SnapshotToJson(at4).find("\"events\""));
+}
+
+TEST(MetricsTest, JsonEscaping) {
+  EXPECT_EQ(metrics::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(metrics::JsonEscape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(MetricsTest, SnapshotToJsonShape) {
+  metrics::Registry reg;
+  reg.GetCounter("lp.pivots").Add(12);
+  reg.GetTimer("lp.solve").Record(0.5);
+  reg.SetGauge("pool.imbalance", 2.0);
+  std::string json = metrics::SnapshotToJson(reg.TakeSnapshot());
+  EXPECT_NE(json.find("\"counters\": {\"lp.pivots\": 12}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"lp.solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool.imbalance\""), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotToTextListsEverySection) {
+  metrics::Registry reg;
+  reg.GetCounter("c").Add(1);
+  reg.GetTimer("t").Record(0.1);
+  reg.SetGauge("g", 4.0);
+  std::string text = metrics::SnapshotToText(reg.TakeSnapshot());
+  EXPECT_NE(text.find("counters:"), std::string::npos);
+  EXPECT_NE(text.find("timers:"), std::string::npos);
+  EXPECT_NE(text.find("gauges:"), std::string::npos);
+}
+
+TEST(MetricsTest, PoolGaugesPublishWorkerDistribution) {
+  {
+    ThreadPool pool(2);
+    ParallelFor(&pool, 10000, [](size_t, size_t) {});
+    RecordPoolGauges(&pool);
+  }
+  metrics::Snapshot snap = metrics::Registry::Global().TakeSnapshot();
+  ASSERT_TRUE(snap.gauges.count("pool.workers"));
+  EXPECT_EQ(snap.gauges.at("pool.workers"), 2.0);
+  EXPECT_GE(snap.gauges.at("pool.tasks_max"),
+            snap.gauges.at("pool.tasks_min"));
+}
+
+}  // namespace
+}  // namespace pso

@@ -17,6 +17,10 @@
 // concurrency; 1 = serial). Every run is deterministic given --seed at
 // ANY thread count: trials draw counter-derived RNG streams and partial
 // results merge in a fixed order, so --threads changes only wall clock.
+//
+// --metrics dumps the global metric registry (solver counters, spans,
+// pool gauges) after the subcommand finishes. Counters are deterministic
+// given --seed and --threads; timers and gauges are wall-clock artifacts.
 
 #include <cstdio>
 #include <memory>
@@ -24,6 +28,7 @@
 #include <cmath>
 
 #include "census/reidentify.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
 #include "common/table.h"
@@ -122,6 +127,7 @@ int RunGame(const Flags& flags) {
   opts.pool = pool.get();
   PsoGame game(u.distribution, n, opts);
   PsoGameResult result = game.Run(*mech, *adv);
+  RecordPoolGauges(pool.get());
   std::printf("%s\n", result.Summary().c_str());
 
   legal::LegalClaim claim =
@@ -164,6 +170,7 @@ int RunCensus(const Flags& flags) {
   auto commercial = census::SimulateCommercialDatabase(pop, copts, rng);
   census::ReidentificationReport reid = census::Reidentify(
       pop, per_block, commercial, /*age_tolerance=*/1, pool.get());
+  RecordPoolGauges(pool.get());
 
   TextTable table({"metric", "value"});
   table.AddRow({"persons", StrFormat("%zu", pop.total_persons)});
@@ -240,6 +247,7 @@ int RunRecon(const Flags& flags) {
   } else if (decoder == "exhaustive") {
     auto pool = MakePool(flags);
     result = recon::ExhaustiveReconstruct(oracle, alpha, pool.get());
+    RecordPoolGauges(pool.get());
   } else {
     std::fprintf(stderr, "unknown decoder '%s'\n", decoder.c_str());
     return 2;
@@ -280,6 +288,7 @@ int RunMembership(const Flags& flags) {
   opts.pool = workers.get();
   membership::MembershipResult r =
       membership::RunMembershipExperiment(u, opts);
+  RecordPoolGauges(workers.get());
   std::printf(
       "attrs=%lld pool=%zu eps=%s -> AUC=%.3f advantage=%.3f "
       "E[T|in]=%.2f E[T|out]=%.2f\n",
@@ -289,10 +298,7 @@ int RunMembership(const Flags& flags) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  if (flags.positional().empty()) return Usage();
-  const std::string& command = flags.positional()[0];
+int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "game") return RunGame(flags);
   if (command == "census") return RunCensus(flags);
   if (command == "linkage") return RunLinkage(flags);
@@ -300,6 +306,19 @@ int Main(int argc, char** argv) {
   if (command == "audit") return RunAudit(flags);
   if (command == "membership") return RunMembership(flags);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  int rc = Dispatch(flags.positional()[0], flags);
+  if (flags.GetBool("metrics", false)) {
+    std::printf("\n-- metric registry --\n%s",
+                metrics::SnapshotToText(
+                    metrics::Registry::Global().TakeSnapshot())
+                    .c_str());
+  }
+  return rc;
 }
 
 }  // namespace
