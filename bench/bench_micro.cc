@@ -104,10 +104,11 @@ BENCHMARK(BM_PsoGameTrialKAnon);
 }  // namespace pso
 
 // Custom main instead of BENCHMARK_MAIN(): strips the repo-standard
-// --json flag (google-benchmark would reject it), runs the registered
-// benchmarks, then emits the same BENCH_*.json document the shape-check
-// harnesses write — no shape checks here, but the counters section still
-// records what the measured primitives executed (LP pivots etc.).
+// flags (--json/--trace/--log-level; google-benchmark would reject
+// them), runs the registered benchmarks, then emits the same
+// BENCH_*.json document the shape-check harnesses write — no shape
+// checks here, but the counters section still records what the measured
+// primitives executed (LP pivots etc.).
 int main(int argc, char** argv) {
   pso::bench::BenchContext ctx =
       pso::bench::MakeBenchContext("bench_micro", argc, argv);
@@ -116,11 +117,14 @@ int main(int argc, char** argv) {
   kept.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--json") {
+    if (arg == "--json" || arg == "--trace" || arg == "--log-level") {
       if (i + 1 < argc) ++i;  // skip the path operand
       continue;
     }
-    if (arg.rfind("--json=", 0) == 0) continue;
+    if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0 ||
+        arg.rfind("--log-level=", 0) == 0) {
+      continue;
+    }
     kept.push_back(argv[i]);
   }
   int kept_argc = static_cast<int>(kept.size());

@@ -10,15 +10,24 @@
 #define PSO_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "tools/flags.h"
 
 namespace pso::bench {
@@ -128,25 +137,89 @@ inline void ReportSpeedup(const std::string& what, double serial_seconds,
 }
 
 /// Per-run reporting state shared by every harness: parsed CLI flags, the
-/// run's wall-clock stopwatch (started at construction), and the --json
-/// destination. Create one at the top of Run() via MakeBenchContext.
+/// run's wall-clock stopwatch (started at construction), and the --json /
+/// --trace destinations. Create one at the top of Run() via
+/// MakeBenchContext.
 struct BenchContext {
   std::string bench_name;  ///< Binary name, e.g. "bench_recon_lp".
   std::string json_path;   ///< Empty when --json was not given.
+  std::string trace_path;  ///< Empty when --trace was not given.
   size_t threads = 1;      ///< Resolved --threads value.
   WallTimer timer;         ///< Wall clock for the whole run.
 };
 
-/// Parses the standard harness flags (--json <path>, --threads N) and
-/// starts the run stopwatch.
+/// Parses the standard harness flags (--json <path>, --threads N,
+/// --trace <path>, --log-level {debug,info,warn,error}), starts the run
+/// stopwatch, and — when --trace was given — enables the global trace
+/// collector. Unknown or malformed flags print usage to stderr and exit
+/// non-zero.
 inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
                                      char** argv) {
   tools::Flags flags(argc, argv);
+  const std::vector<tools::FlagSpec> specs = {
+      {"json", tools::FlagSpec::Type::kString},
+      {"threads", tools::FlagSpec::Type::kInt},
+      {"trace", tools::FlagSpec::Type::kString},
+      {"log-level", tools::FlagSpec::Type::kString},
+  };
+  std::vector<std::string> errors;
+  tools::ValidateFlags(flags, specs, &errors);
+  // bench_micro forwards --benchmark_* to google-benchmark; those are not
+  // ours to reject.
+  for (size_t i = errors.size(); i > 0; --i) {
+    if (errors[i - 1].find("--benchmark_") != std::string::npos) {
+      errors.erase(errors.begin() + static_cast<ptrdiff_t>(i - 1));
+    }
+  }
+  if (!errors.empty()) {
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "%s: %s\n", bench_name.c_str(), e.c_str());
+    }
+    std::fprintf(stderr,
+                 "usage: %s [--json FILE] [--threads N] [--trace FILE] "
+                 "[--log-level debug|info|warn|error]\n",
+                 bench_name.c_str());
+    std::exit(2);
+  }
+  const std::string level_name = flags.GetString("log-level", "");
+  if (!level_name.empty()) {
+    log::Level level;
+    if (!log::ParseLevel(level_name, &level)) {
+      std::fprintf(stderr,
+                   "%s: invalid --log-level '%s' "
+                   "(use debug|info|warn|error)\n",
+                   bench_name.c_str(), level_name.c_str());
+      std::exit(2);
+    }
+    log::SetMinLevel(level);
+  }
   BenchContext ctx;
   ctx.bench_name = bench_name;
   ctx.json_path = flags.GetString("json", "");
+  ctx.trace_path = flags.GetString("trace", "");
   ctx.threads = flags.GetThreads();
+  if (!ctx.trace_path.empty()) {
+    trace::Collector::Global().Enable();
+    // Remembered so an aborting PSO_CHECK still flushes a partial trace.
+    trace::Collector::Global().SetFlushPath(ctx.trace_path);
+  }
   return ctx;
+}
+
+/// Peak resident set size of this process in bytes (0 where the platform
+/// offers no getrusage). Linux reports ru_maxrss in KiB.
+inline uint64_t PeakRssBytes() {
+#if defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
 }
 
 /// The git revision baked in at configure time (root CMakeLists.txt).
@@ -167,7 +240,7 @@ inline std::string BenchReportJson(const BenchContext& ctx,
                                    const ShapeChecks& checks,
                                    const metrics::Snapshot& snapshot) {
   std::string out = "{\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
   out += StrFormat("  \"bench\": \"%s\",\n",
                    metrics::JsonEscape(ctx.bench_name).c_str());
   out += StrFormat("  \"experiment\": \"%s\",\n",
@@ -176,6 +249,10 @@ inline std::string BenchReportJson(const BenchContext& ctx,
                    metrics::JsonEscape(GitSha()).c_str());
   out += StrFormat("  \"threads\": %zu,\n", ctx.threads);
   out += StrFormat("  \"wall_clock_seconds\": %.6f,\n", ctx.timer.Seconds());
+  out += StrFormat("  \"peak_rss_bytes\": %llu,\n",
+                   static_cast<unsigned long long>(PeakRssBytes()));
+  out += StrFormat("  \"trace_file\": \"%s\",\n",
+                   metrics::JsonEscape(ctx.trace_path).c_str());
   out += "  \"shape_checks\": [";
   for (size_t i = 0; i < checks.results().size(); ++i) {
     const auto& [ok, what] = checks.results()[i];
@@ -195,14 +272,21 @@ inline std::string BenchReportJson(const BenchContext& ctx,
 }
 
 /// Finishes a harness run: records `pool`'s load-balance gauges, prints
-/// the shape-check summary, and — when --json was given — writes the
-/// machine-readable report. Returns the process exit code (nonzero on any
-/// failed check or an unwritable --json path).
+/// the shape-check summary, writes the execution trace when --trace was
+/// given, and — when --json was given — writes the machine-readable
+/// report. Returns the process exit code (nonzero on any failed check or
+/// an unwritable --json path).
 inline int FinishBench(const BenchContext& ctx, const std::string& experiment,
                        const ShapeChecks& checks,
                        const ThreadPool* pool = nullptr) {
   RecordPoolGauges(pool);
   int rc = checks.Finish(experiment);
+  if (!ctx.trace_path.empty()) {
+    if (trace::Collector::Global().WriteChromeJson(ctx.trace_path)) {
+      std::printf("trace: %s\n", ctx.trace_path.c_str());
+    }
+    trace::Collector::Global().Disable();
+  }
   if (!ctx.json_path.empty()) {
     metrics::Snapshot snapshot = metrics::Registry::Global().TakeSnapshot();
     std::string json = BenchReportJson(ctx, experiment, checks, snapshot);

@@ -4,10 +4,12 @@
 #include <functional>
 #include <iterator>
 #include <map>
+#include <string>
 
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace pso::census {
 
@@ -198,8 +200,16 @@ ReconstructionReport ReconstructPopulation(
   std::vector<BlockReconstruction> results(num_blocks);
   metrics::GetCounter("census.blocks_reconstructed").Add(num_blocks);
   metrics::ScopedSpan span("census.reconstruct_population");
+  trace::Span trace_span("census.reconstruct_population");
+  if (trace_span.active()) {
+    trace_span.Arg("blocks", std::to_string(num_blocks));
+  }
   ParallelFor(options.pool, num_blocks, [&](size_t begin, size_t end) {
     for (size_t b = begin; b < end; ++b) {
+      trace::Span block_span("census.block");
+      if (block_span.active()) {
+        block_span.Arg("block", std::to_string(b));
+      }
       results[b] =
           ReconstructBlock(tables[b], population.blocks[b].persons, options);
     }

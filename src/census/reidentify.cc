@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace pso::census {
 
@@ -57,6 +58,7 @@ ReidentificationReport Reidentify(
     const std::vector<CommercialEntry>& commercial, int64_t age_tolerance,
     ThreadPool* pool) {
   PSO_CHECK(reconstructions.size() == population.blocks.size());
+  PSO_TRACE_SPAN("census.reidentify");
 
   // Index reconstructions and truth by block id (read-only during the
   // parallel linkage below).

@@ -1,8 +1,10 @@
 #include "census/sat_reconstruct.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "solver/sat.h"
 
 namespace pso::census {
@@ -33,6 +35,10 @@ std::vector<size_t> FeasibleValues(const BlockTables& t) {
 Result<SatReconstruction> ReconstructBlockSat(const BlockTables& tables,
                                               size_t max_decisions) {
   const size_t n = static_cast<size_t>(tables.total);
+  trace::Span block_span("census.sat_block");
+  if (block_span.active()) {
+    block_span.Arg("persons", std::to_string(n));
+  }
   SatReconstruction out;
   if (n == 0) {
     out.satisfiable = true;

@@ -2,12 +2,26 @@
 //
 // PSO_CHECK aborts on contract violations (programming errors); recoverable
 // conditions use pso::Status / pso::Result instead.
+//
+// Failures always print the classic raw-stderr diagnostic first (it must
+// survive even if the logger itself is broken). When the structured
+// logger has been configured, the failure is additionally emitted as a
+// JSON log line carrying timestamp + thread id, and any buffered
+// deterministic-mode log lines and the in-flight trace (if a --trace
+// destination was registered) are flushed before abort — so a crashing
+// run still leaves its audit trail on disk.
 
 #ifndef PSO_COMMON_CHECK_H_
 #define PSO_COMMON_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
+namespace pso::internal {
+
+/// Prints the diagnostic, routes it through the structured logger when
+/// one is configured, flushes pending log/trace buffers, and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* msg);
+
+}  // namespace pso::internal
 
 /// Aborts with a diagnostic if `cond` is false. Always enabled (the library
 /// is correctness-critical; the cost of the branch is negligible relative to
@@ -15,9 +29,7 @@
 #define PSO_CHECK(cond)                                                     \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      std::fprintf(stderr, "PSO_CHECK failed at %s:%d: %s\n", __FILE__,     \
-                   __LINE__, #cond);                                        \
-      std::abort();                                                         \
+      ::pso::internal::CheckFailed(__FILE__, __LINE__, #cond, nullptr);     \
     }                                                                       \
   } while (0)
 
@@ -25,9 +37,7 @@
 #define PSO_CHECK_MSG(cond, msg)                                            \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      std::fprintf(stderr, "PSO_CHECK failed at %s:%d: %s (%s)\n",          \
-                   __FILE__, __LINE__, #cond, msg);                         \
-      std::abort();                                                         \
+      ::pso::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);         \
     }                                                                       \
   } while (0)
 

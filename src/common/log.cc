@@ -1,0 +1,311 @@
+#include "common/log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/metrics.h"  // JsonEscape
+#include "common/str_util.h"
+
+namespace pso::log {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(Level::kWarn)};
+std::atomic<bool> g_deterministic{false};
+std::atomic<bool> g_initialized{false};
+
+// Sink + deterministic buffer state, guarded by one mutex: logging is a
+// diagnostics path, not a throughput path.
+struct SinkState {
+  std::FILE* file = nullptr;  // null => stderr
+  bool owns_file = false;
+  bool capture = false;
+  std::string captured;
+  struct Buffered {
+    std::vector<uint64_t> key;
+    std::string line;
+  };
+  std::vector<Buffered> buffer;  // deterministic-mode messages
+};
+
+std::mutex& Mu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+SinkState& Sink() {
+  static SinkState* s = new SinkState();  // never destroyed
+  return *s;
+}
+
+// Logger time origin: first use of Now().
+uint64_t NowMicros() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+// Small per-thread display id, assigned on first log from a thread.
+std::atomic<uint32_t> g_next_thread_id{1};
+uint32_t ThreadId() {
+  thread_local uint32_t id = 0;
+  if (id == 0) id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Deterministic-mode rank state: the hierarchical key prefix for this
+// thread plus the next sequence number within it. Top-level (empty
+// prefix) keys come from a global program-order counter.
+struct RankState {
+  std::vector<uint64_t> prefix;
+  uint64_t seq = 0;
+};
+RankState& Rank() {
+  thread_local RankState state;
+  return state;
+}
+std::atomic<uint64_t> g_serial_order{0};
+
+std::vector<uint64_t> NextKey() {
+  RankState& r = Rank();
+  if (r.prefix.empty()) {
+    return {g_serial_order.fetch_add(1, std::memory_order_relaxed)};
+  }
+  std::vector<uint64_t> key = r.prefix;
+  key.push_back(r.seq++);
+  return key;
+}
+
+// Writes one already-rendered line to the active sink. Caller holds Mu().
+void WriteLineLocked(const std::string& line) {
+  SinkState& s = Sink();
+  if (s.capture) {
+    s.captured += line;
+    s.captured += '\n';
+    return;
+  }
+  std::FILE* f = s.file != nullptr ? s.file : stderr;
+  std::fputs(line.c_str(), f);
+  std::fputc('\n', f);
+  std::fflush(f);
+}
+
+void FlushLocked() {
+  SinkState& s = Sink();
+  std::stable_sort(s.buffer.begin(), s.buffer.end(),
+                   [](const SinkState::Buffered& a,
+                      const SinkState::Buffered& b) { return a.key < b.key; });
+  for (const auto& m : s.buffer) WriteLineLocked(m.line);
+  s.buffer.clear();
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetMinLevel(Level level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_initialized.store(true, std::memory_order_relaxed);
+}
+
+Level MinLevel() {
+  return static_cast<Level>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool ShouldLog(Level level) {
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+bool ParseLevel(const std::string& name, Level* out) {
+  if (name == "debug") *out = Level::kDebug;
+  else if (name == "info") *out = Level::kInfo;
+  else if (name == "warn") *out = Level::kWarn;
+  else if (name == "error") *out = Level::kError;
+  else return false;
+  return true;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool SetFileSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(Mu());
+  SinkState& s = Sink();
+  if (s.owns_file && s.file != nullptr) std::fclose(s.file);
+  s.file = nullptr;
+  s.owns_file = false;
+  if (!path.empty()) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open log sink '%s'\n", path.c_str());
+      return false;
+    }
+    s.file = f;
+    s.owns_file = true;
+  }
+  g_initialized.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void CaptureToString(bool on) {
+  std::lock_guard<std::mutex> lock(Mu());
+  SinkState& s = Sink();
+  s.capture = on;
+  if (!on) s.captured.clear();
+  g_initialized.store(true, std::memory_order_relaxed);
+}
+
+std::string TakeCaptured() {
+  std::lock_guard<std::mutex> lock(Mu());
+  std::string out = std::move(Sink().captured);
+  Sink().captured.clear();
+  return out;
+}
+
+void SetDeterministic(bool on) {
+  {
+    std::lock_guard<std::mutex> lock(Mu());
+    if (!on) FlushLocked();
+  }
+  g_deterministic.store(on, std::memory_order_relaxed);
+  g_initialized.store(true, std::memory_order_relaxed);
+}
+
+bool DeterministicMode() {
+  return g_deterministic.load(std::memory_order_relaxed);
+}
+
+void Flush() {
+  std::lock_guard<std::mutex> lock(Mu());
+  FlushLocked();
+}
+
+bool Initialized() {
+  return g_initialized.load(std::memory_order_relaxed);
+}
+
+RankScope::RankScope(const std::vector<uint64_t>& region_key, uint64_t rank) {
+  RankState& r = Rank();
+  saved_prefix_ = std::move(r.prefix);
+  saved_seq_ = r.seq;
+  r.prefix = region_key;
+  r.prefix.push_back(rank);
+  r.seq = 0;
+}
+
+RankScope::~RankScope() {
+  RankState& r = Rank();
+  r.prefix = std::move(saved_prefix_);
+  r.seq = saved_seq_;
+}
+
+std::vector<uint64_t> AllocateRegionKey() { return NextKey(); }
+
+LogMessage::LogMessage(Level level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage& LogMessage::Field(const char* key, const std::string& value) {
+  fields_.emplace_back(key, value);
+  return *this;
+}
+LogMessage& LogMessage::Field(const char* key, const char* value) {
+  fields_.emplace_back(key, value);
+  return *this;
+}
+LogMessage& LogMessage::FieldInt(const char* key, long long value) {
+  fields_.emplace_back(key, StrFormat("%lld", value));
+  return *this;
+}
+LogMessage& LogMessage::FieldUint(const char* key, unsigned long long value) {
+  fields_.emplace_back(key, StrFormat("%llu", value));
+  return *this;
+}
+LogMessage& LogMessage::Field(const char* key, double value) {
+  fields_.emplace_back(key, StrFormat("%.9g", value));
+  return *this;
+}
+LogMessage& LogMessage::Field(const char* key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+LogMessage& LogMessage::operator<<(const std::string& text) {
+  msg_ += text;
+  return *this;
+}
+LogMessage& LogMessage::operator<<(const char* text) {
+  msg_ += text;
+  return *this;
+}
+LogMessage& LogMessage::AppendInt(long long v) {
+  msg_ += StrFormat("%lld", v);
+  return *this;
+}
+LogMessage& LogMessage::AppendUint(unsigned long long v) {
+  msg_ += StrFormat("%llu", v);
+  return *this;
+}
+LogMessage& LogMessage::operator<<(double v) {
+  msg_ += StrFormat("%.9g", v);
+  return *this;
+}
+LogMessage& LogMessage::operator<<(bool v) {
+  msg_ += v ? "true" : "false";
+  return *this;
+}
+
+LogMessage::~LogMessage() {
+  const bool deterministic = DeterministicMode();
+  std::string line = "{";
+  line += StrFormat("\"level\":\"%s\"", LevelName(level_));
+  if (!deterministic) {
+    // Wall-clock and scheduling detail are exactly what deterministic
+    // mode must omit to stay byte-identical across thread counts.
+    line += StrFormat(",\"ts_us\":%llu,\"thread\":%u",
+                      static_cast<unsigned long long>(NowMicros()),
+                      ThreadId());
+  }
+  line += StrFormat(",\"src\":\"%s:%d\"",
+                    metrics::JsonEscape(Basename(file_)).c_str(), line_);
+  line += StrFormat(",\"msg\":\"%s\"", metrics::JsonEscape(msg_).c_str());
+  if (!fields_.empty()) {
+    line += ",\"fields\":{";
+    bool first = true;
+    for (const auto& [key, value] : fields_) {
+      if (!first) line += ",";
+      first = false;
+      line += StrFormat("\"%s\":\"%s\"", metrics::JsonEscape(key).c_str(),
+                        metrics::JsonEscape(value).c_str());
+    }
+    line += "}";
+  }
+  line += "}";
+
+  if (deterministic) {
+    std::vector<uint64_t> key = NextKey();
+    std::lock_guard<std::mutex> lock(Mu());
+    Sink().buffer.push_back({std::move(key), std::move(line)});
+    return;
+  }
+  std::lock_guard<std::mutex> lock(Mu());
+  WriteLineLocked(line);
+}
+
+}  // namespace pso::log

@@ -1,0 +1,367 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "common/metrics.h"  // JsonEscape
+#include "common/str_util.h"
+
+namespace pso::trace {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-thread tracing state: the stack of open spans, the parent inherited
+// from a parallel region, and this thread's display track id.
+struct ThreadState {
+  std::vector<uint64_t> span_stack;
+  uint64_t inherited_parent = 0;
+  uint32_t track = 0;  // 0 = not yet assigned
+};
+
+ThreadState& State() {
+  thread_local ThreadState state;
+  return state;
+}
+
+std::atomic<uint32_t> g_next_track{1};
+
+uint32_t CurrentTrack() {
+  ThreadState& s = State();
+  if (s.track == 0) {
+    s.track = g_next_track.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s.track;
+}
+
+uint64_t ParentForNewEvent() {
+  const ThreadState& s = State();
+  return s.span_stack.empty() ? s.inherited_parent : s.span_stack.back();
+}
+
+}  // namespace
+
+Collector& Collector::Global() {
+  static Collector* instance = new Collector();  // never destroyed
+  return *instance;
+}
+
+void Collector::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  capacity_ = capacity == 0 ? 1 : capacity;
+  epoch_ns_ = SteadyNowNs();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Collector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Collector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  epoch_ns_ = SteadyNowNs();
+}
+
+uint64_t Collector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<Event> Collector::TakeEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t Collector::NowNs() const {
+  if (!enabled()) return 0;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_ns_;
+  }
+  uint64_t now = SteadyNowNs();
+  return now > epoch ? now - epoch : 0;
+}
+
+void Collector::Record(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+uint64_t Collector::NextSpanId() {
+  return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Collector::SetFlushPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_path_ = path;
+}
+
+void Collector::FlushToConfiguredPath() const {
+  std::string path;
+  bool have_events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = flush_path_;
+    have_events = !events_.empty();
+  }
+  if (path.empty() || !have_events) return;
+  WriteChromeJson(path);
+}
+
+uint64_t CurrentSpanId() { return ParentForNewEvent(); }
+
+ContextScope::ContextScope(uint64_t parent_span_id) {
+  ThreadState& s = State();
+  saved_ = s.inherited_parent;
+  s.inherited_parent = parent_span_id;
+}
+
+ContextScope::~ContextScope() { State().inherited_parent = saved_; }
+
+Span::Span(const char* name) : active_(Enabled()), name_(name) {
+  if (!active_) return;
+  Collector& c = Collector::Global();
+  id_ = c.NextSpanId();
+  parent_ = ParentForNewEvent();
+  start_ns_ = c.NowNs();
+  State().span_stack.push_back(id_);
+}
+
+void Span::Arg(const char* key, std::string value) {
+  if (!active_) return;
+  args_.emplace_back(key, std::move(value));
+}
+
+Span::~Span() {
+  if (!active_) return;
+  ThreadState& s = State();
+  // Pop our frame. Scoped construction order guarantees we are on top of
+  // this thread's stack.
+  if (!s.span_stack.empty() && s.span_stack.back() == id_) {
+    s.span_stack.pop_back();
+  }
+  Collector& c = Collector::Global();
+  Event e;
+  e.kind = Event::Kind::kSpan;
+  e.name = name_;
+  e.id = id_;
+  e.parent = parent_;
+  e.track = CurrentTrack();
+  e.start_ns = start_ns_;
+  uint64_t end = c.NowNs();
+  e.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+  e.args = std::move(args_);
+  c.Record(std::move(e));
+}
+
+void Instant(const char* name,
+             std::vector<std::pair<std::string, std::string>> args) {
+  if (!Enabled()) return;
+  Collector& c = Collector::Global();
+  Event e;
+  e.kind = Event::Kind::kInstant;
+  e.name = name;
+  e.parent = ParentForNewEvent();
+  e.track = CurrentTrack();
+  e.start_ns = c.NowNs();
+  e.args = std::move(args);
+  c.Record(std::move(e));
+}
+
+void CounterSample(const char* name, double value) {
+  if (!Enabled()) return;
+  Collector& c = Collector::Global();
+  Event e;
+  e.kind = Event::Kind::kCounter;
+  e.name = name;
+  e.parent = ParentForNewEvent();
+  e.track = CurrentTrack();
+  e.start_ns = c.NowNs();
+  e.value = value;
+  c.Record(std::move(e));
+}
+
+namespace {
+
+std::string FormatMicros(uint64_t ns) {
+  // Chrome expects microseconds; keep nanosecond resolution as a decimal.
+  return StrFormat("%llu.%03llu",
+                   static_cast<unsigned long long>(ns / 1000),
+                   static_cast<unsigned long long>(ns % 1000));
+}
+
+void AppendArgsJson(std::string& out, const Event& e) {
+  out += "\"args\":{";
+  bool first = true;
+  if (e.kind == Event::Kind::kSpan) {
+    out += StrFormat("\"id\":\"%llx\",\"parent\":\"%llx\"",
+                     static_cast<unsigned long long>(e.id),
+                     static_cast<unsigned long long>(e.parent));
+    first = false;
+  } else if (e.kind == Event::Kind::kCounter) {
+    out += StrFormat("\"value\":%.9g", e.value);
+    first = false;
+  }
+  for (const auto& [key, value] : e.args) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":\"%s\"", metrics::JsonEscape(key).c_str(),
+                     metrics::JsonEscape(value).c_str());
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string Collector::ChromeJson() const {
+  std::vector<Event> events = TakeEvents();
+  uint64_t dropped_events = dropped();
+
+  std::string out = "{\n\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"pso\"}}";
+  for (const Event& e : events) {
+    out += ",\n{";
+    out += StrFormat("\"name\":\"%s\",", metrics::JsonEscape(e.name).c_str());
+    switch (e.kind) {
+      case Event::Kind::kSpan:
+        out += StrFormat("\"ph\":\"X\",\"ts\":%s,\"dur\":%s,",
+                         FormatMicros(e.start_ns).c_str(),
+                         FormatMicros(e.dur_ns).c_str());
+        break;
+      case Event::Kind::kInstant:
+        out += StrFormat("\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,",
+                         FormatMicros(e.start_ns).c_str());
+        break;
+      case Event::Kind::kCounter:
+        out += StrFormat("\"ph\":\"C\",\"ts\":%s,",
+                         FormatMicros(e.start_ns).c_str());
+        break;
+    }
+    out += StrFormat("\"pid\":1,\"tid\":%u,", e.track);
+    AppendArgsJson(out, e);
+    out += "}";
+  }
+  out += "\n],\n\"displayTimeUnit\":\"ms\",\n";
+  out += StrFormat("\"otherData\":{\"dropped_events\":\"%llu\"}\n}\n",
+                   static_cast<unsigned long long>(dropped_events));
+  return out;
+}
+
+namespace {
+
+// Aggregation node for the deterministic text tree: all events with the
+// same name under the same (aggregated) parent merge into one node.
+struct TreeNode {
+  uint64_t span_count = 0;
+  uint64_t instant_count = 0;
+  uint64_t counter_count = 0;
+  std::map<std::string, TreeNode> children;  // ordered => stable output
+};
+
+void RenderTree(const TreeNode& node, const std::string& indent,
+                std::string& out) {
+  for (const auto& [name, child] : node.children) {
+    std::string counts;
+    if (child.span_count > 0) {
+      counts += StrFormat("- %s x%llu", name.c_str(),
+                          static_cast<unsigned long long>(child.span_count));
+    }
+    if (child.instant_count > 0) {
+      counts += StrFormat("%s! %s x%llu", counts.empty() ? "" : "  ",
+                          name.c_str(),
+                          static_cast<unsigned long long>(
+                              child.instant_count));
+    }
+    if (child.counter_count > 0) {
+      counts += StrFormat("%s# %s x%llu", counts.empty() ? "" : "  ",
+                          name.c_str(),
+                          static_cast<unsigned long long>(
+                              child.counter_count));
+    }
+    out += indent + counts + "\n";
+    RenderTree(child, indent + "  ", out);
+  }
+}
+
+}  // namespace
+
+std::string Collector::TextTree() const {
+  std::vector<Event> events = TakeEvents();
+
+  // Resolve each span id to its chain of ancestor NAMES (ids and tracks
+  // are run-dependent; names are not). Events whose parent span was
+  // dropped or is still open aggregate at the root.
+  std::map<uint64_t, const Event*> span_by_id;
+  for (const Event& e : events) {
+    if (e.kind == Event::Kind::kSpan) span_by_id[e.id] = &e;
+  }
+  auto path_of = [&](const Event& e) {
+    std::vector<const std::string*> path;  // leaf..root, reversed below
+    path.push_back(&e.name);
+    uint64_t p = e.parent;
+    while (p != 0) {
+      auto it = span_by_id.find(p);
+      if (it == span_by_id.end()) break;
+      path.push_back(&it->second->name);
+      p = it->second->parent;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  TreeNode root;
+  for (const Event& e : events) {
+    std::vector<const std::string*> path = path_of(e);
+    TreeNode* node = &root;
+    for (const std::string* name : path) node = &node->children[*name];
+    switch (e.kind) {
+      case Event::Kind::kSpan:
+        ++node->span_count;
+        break;
+      case Event::Kind::kInstant:
+        ++node->instant_count;
+        break;
+      case Event::Kind::kCounter:
+        ++node->counter_count;
+        break;
+    }
+  }
+
+  std::string out = "trace-tree v1\n";
+  RenderTree(root, "", out);
+  return out;
+}
+
+bool Collector::WriteChromeJson(const std::string& path) const {
+  std::string json = ChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+    std::fprintf(stderr, "cannot write trace to '%s'\n", path.c_str());
+    if (f != nullptr) std::fclose(f);
+    return false;
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace pso::trace

@@ -1,0 +1,231 @@
+// Hierarchical tracing, layered on top of (not replacing) the metrics
+// registry: where metrics.h answers "how much, in total", this module
+// answers "where inside one run, and in what order".
+//
+// The model is a tree of spans. Each thread keeps a stack of open spans;
+// a new span's parent is the top of that stack. ParallelFor propagates
+// the calling thread's current span to its workers (trace::ContextScope),
+// so chunk work running on a pool thread still nests under the pipeline
+// span that launched it — the logical tree is the same at any thread
+// count. Instant events and counter samples attach to the current span
+// the same way.
+//
+// Two exports:
+//  - Chrome trace-event JSON (ChromeJson / WriteChromeJson): loadable in
+//    Perfetto (ui.perfetto.dev) or chrome://tracing. Events carry wall
+//    timestamps and per-thread track ids; every span's args include its
+//    "id"/"parent" so cross-thread nesting stays auditable even though
+//    the timeline renders per track.
+//  - A deterministic text tree (TextTree): timestamps and track ids are
+//    stripped and sibling subtrees are aggregated by name, so for a
+//    deterministic workload the output is byte-identical at 1 or N
+//    threads (asserted in trace_test.cc). This is the diffable form.
+//
+// Cost contract: collection is off by default and every entry point
+// checks one relaxed atomic first, so instrumented code paths pay a
+// single predictable branch when tracing is disabled. When enabled,
+// events are appended under a mutex into a bounded buffer (drops are
+// counted, never blocking) — tracing is a debugging/audit mode, not a
+// hot-path facility.
+
+#ifndef PSO_COMMON_TRACE_H_
+#define PSO_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pso::trace {
+
+/// One recorded trace event. Span events are recorded at close (complete
+/// spans); instants and counter samples are points.
+struct Event {
+  enum class Kind : uint8_t { kSpan, kInstant, kCounter };
+
+  Kind kind = Kind::kInstant;
+  std::string name;
+  uint64_t id = 0;        ///< Span id (nonzero for kSpan only).
+  uint64_t parent = 0;    ///< Enclosing span id; 0 = root.
+  uint32_t track = 0;     ///< Per-thread track id (Chrome "tid").
+  uint64_t start_ns = 0;  ///< Monotonic ns since Enable().
+  uint64_t dur_ns = 0;    ///< kSpan only.
+  double value = 0.0;     ///< kCounter only.
+  /// Key/value annotations ("n" -> "64"). Rendered as Chrome args.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Bounded FIFO keeping the most recent `capacity` entries — the solver
+/// introspection buffers (LP pivots, SAT steps). Single-threaded; each
+/// solve owns its own ring.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : capacity_(capacity) {
+    items_.reserve(capacity);
+  }
+
+  void Push(T item) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+    } else {
+      items_[head_] = std::move(item);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  /// Number of pushes ever seen (>= size() when the ring wrapped).
+  uint64_t total() const { return total_; }
+  size_t size() const { return items_.size(); }
+
+  /// The retained entries, oldest first.
+  std::vector<T> Drain() const {
+    std::vector<T> out;
+    out.reserve(items_.size());
+    for (size_t i = 0; i < items_.size(); ++i) {
+      out.push_back(items_[(head_ + i) % items_.size()]);
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;
+  uint64_t total_ = 0;
+  std::vector<T> items_;
+};
+
+/// The process-wide event sink. Thread-safe; all spans/instants record
+/// here. Tests drive it through Enable/Clear/TakeEvents.
+class Collector {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 20;
+
+  /// The collector every trace::Span records into.
+  static Collector& Global();
+
+  /// Clears any previous events, re-anchors the time origin, and starts
+  /// collecting. At most `capacity` events are kept; later events are
+  /// dropped and counted.
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all recorded events (collection state unchanged).
+  void Clear();
+
+  /// Events dropped because the buffer was full.
+  uint64_t dropped() const;
+
+  /// Copy of every recorded event, in record order.
+  std::vector<Event> TakeEvents() const;
+
+  /// Renders all events as a Chrome trace-event JSON document.
+  std::string ChromeJson() const;
+
+  /// Renders the deterministic text tree (see file comment).
+  std::string TextTree() const;
+
+  /// Writes ChromeJson() to `path`; false (with a stderr diagnostic) on
+  /// I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+  /// Remembers `path` so an aborting PSO_CHECK can flush a partial trace
+  /// there (see check.h). Empty clears.
+  void SetFlushPath(const std::string& path);
+
+  /// Writes the trace to the SetFlushPath() destination, if one is set
+  /// and any events were recorded. Called from the PSO_CHECK failure
+  /// handler; best-effort.
+  void FlushToConfiguredPath() const;
+
+  /// Monotonic nanoseconds since Enable() (0 when disabled).
+  uint64_t NowNs() const;
+
+  // Internals used by Span/Instant/CounterSample.
+  void Record(Event event);
+  uint64_t NextSpanId();
+
+ private:
+  Collector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{1};
+  mutable std::mutex mu_;
+  size_t capacity_ = kDefaultCapacity;  // guarded by mu_
+  uint64_t dropped_ = 0;                // guarded by mu_
+  std::vector<Event> events_;           // guarded by mu_
+  std::string flush_path_;              // guarded by mu_
+  uint64_t epoch_ns_ = 0;               // steady_clock anchor, set by Enable
+};
+
+/// True when the global collector is recording. The one branch
+/// instrumented code pays when tracing is off.
+inline bool Enabled() { return Collector::Global().enabled(); }
+
+/// The innermost open span on this thread (the inherited parallel-region
+/// span when the thread's own stack is empty); 0 when none.
+uint64_t CurrentSpanId();
+
+/// Sets the parent that spans opened on THIS thread fall back to while
+/// their own stack is empty. ParallelFor wraps chunk execution in one of
+/// these so worker-thread spans nest under the launching pipeline span.
+class ContextScope {
+ public:
+  explicit ContextScope(uint64_t parent_span_id);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+/// RAII span: records a kSpan event covering construction..destruction.
+/// Near-free when tracing is disabled (one relaxed load, no allocation).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value annotation, rendered into the span's Chrome
+  /// args. No-op when the span is inactive (tracing was off at open).
+  void Arg(const char* key, std::string value);
+
+  /// This span's id (0 when inactive) — parent for manual child events.
+  uint64_t id() const { return id_; }
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t start_ns_ = 0;
+  const char* name_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Records an instant event under the current span.
+void Instant(const char* name,
+             std::vector<std::pair<std::string, std::string>> args = {});
+
+/// Records a counter sample (rendered as a Chrome "C" event) under the
+/// current span.
+void CounterSample(const char* name, double value);
+
+}  // namespace pso::trace
+
+// Span-with-unique-local-name convenience: PSO_TRACE_SPAN("lp.solve");
+#define PSO_TRACE_CONCAT_INNER(a, b) a##b
+#define PSO_TRACE_CONCAT(a, b) PSO_TRACE_CONCAT_INNER(a, b)
+#define PSO_TRACE_SPAN(name) \
+  ::pso::trace::Span PSO_TRACE_CONCAT(pso_trace_span_, __LINE__)(name)
+
+#endif  // PSO_COMMON_TRACE_H_

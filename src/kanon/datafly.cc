@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace pso::kanon {
 
@@ -33,6 +34,7 @@ Result<AnonymizationResult> DataflyAnonymize(const Dataset& data,
   metrics::GetCounter("kanon.datafly_runs").Add(1);
   metrics::GetCounter("kanon.records_anonymized").Add(data.size());
   metrics::ScopedSpan span("kanon.anonymize");
+  PSO_TRACE_SPAN("kanon.anonymize");
   if (data.empty()) {
     return Status::InvalidArgument("cannot anonymize an empty dataset");
   }

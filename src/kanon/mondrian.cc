@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace pso::kanon {
 
@@ -44,6 +45,7 @@ Result<AnonymizationResult> MondrianAnonymize(const Dataset& data,
   metrics::GetCounter("kanon.mondrian_runs").Add(1);
   metrics::GetCounter("kanon.records_anonymized").Add(data.size());
   metrics::ScopedSpan span("kanon.anonymize");
+  PSO_TRACE_SPAN("kanon.anonymize");
   if (data.empty()) {
     return Status::InvalidArgument("cannot anonymize an empty dataset");
   }

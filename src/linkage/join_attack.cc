@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace pso::linkage {
 
@@ -49,6 +50,7 @@ LinkageReport JoinAttack(const IdentifiedPopulation& pop,
   metrics::GetCounter("linkage.join_attacks").Add(1);
   metrics::GetCounter("linkage.released_records").Add(pop.records.size());
   metrics::ScopedSpan span("linkage.join_attack");
+  PSO_TRACE_SPAN("linkage.join_attack");
   LinkageReport report;
   report.released_records = pop.records.size();
   report.voter_entries = voter_file.size();
@@ -85,6 +87,7 @@ LinkageReport JoinAttackGeneralized(
   metrics::GetCounter("linkage.join_attacks").Add(1);
   metrics::GetCounter("linkage.released_records").Add(release.size());
   metrics::ScopedSpan span("linkage.join_attack");
+  PSO_TRACE_SPAN("linkage.join_attack");
   LinkageReport report;
   report.released_records = release.size();
   report.voter_entries = voter_file.size();

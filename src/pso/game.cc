@@ -1,11 +1,13 @@
 #include "pso/game.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "pso/interactive.h"
 
 namespace pso {
@@ -85,6 +87,10 @@ PsoGameResult PsoGame::RunTrialLoop(
 
   metrics::GetCounter("pso.trials").Add(options_.trials);
   metrics::ScopedSpan span("pso.trial_loop");
+  trace::Span trace_span("pso.trial_loop");
+  if (trace_span.active()) {
+    trace_span.Arg("trials", std::to_string(options_.trials));
+  }
   ParallelFor(
       options_.pool, options_.trials,
       [&](size_t begin, size_t end) {

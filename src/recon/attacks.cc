@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "solver/lp.h"
 
 namespace pso::recon {
@@ -47,6 +49,7 @@ Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha,
   PSO_CHECK_MSG(n <= 24, "exhaustive attack is exponential; keep n <= 24");
   metrics::GetCounter("recon.exhaustive_decodes").Add(1);
   metrics::ScopedSpan span("recon.exhaustive_decode");
+  PSO_TRACE_SPAN("recon.exhaustive_decode");
 
   // Ask all 2^n subset queries (serial: the oracle is stateful).
   const uint64_t num_masks = 1ULL << n;
@@ -133,6 +136,11 @@ Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
   const size_t n = oracle.n();
   metrics::GetCounter("recon.lp_decodes").Add(1);
   metrics::GetCounter("recon.queries").Add(num_queries);
+  trace::Span decode_span("recon.lp_decode");
+  if (decode_span.active()) {
+    decode_span.Arg("n", std::to_string(n));
+    decode_span.Arg("queries", std::to_string(num_queries));
+  }
   QuerySet qs = DrawRandomQueries(oracle, num_queries, rng);
 
   LpProblem lp;
@@ -172,6 +180,7 @@ Reconstruction LeastSquaresReconstruct(SubsetSumOracle& oracle,
   metrics::GetCounter("recon.lsq_decodes").Add(1);
   metrics::GetCounter("recon.queries").Add(num_queries);
   metrics::ScopedSpan span("recon.lsq_decode");
+  PSO_TRACE_SPAN("recon.lsq_decode");
   QuerySet qs = DrawRandomQueries(oracle, num_queries, rng);
   const size_t m = num_queries;
 

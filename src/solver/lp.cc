@@ -1,10 +1,14 @@
 #include "solver/lp.h"
 
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "common/check.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace pso {
 
@@ -12,6 +16,31 @@ namespace {
 
 constexpr double kEps = 1e-9;
 constexpr size_t kMaxIterations = 200000;
+
+// Per-pivot instants emitted into the trace timeline, per RunSimplex
+// call; the ring buffer keeps recording past this.
+constexpr size_t kMaxPivotInstants = 256;
+
+// Pivot-trace sink handed to RunSimplex: a bounded ring of audit records
+// plus per-pivot trace instants. Null ring => introspection off.
+struct PivotSink {
+  trace::RingBuffer<LpPivotStep>* ring = nullptr;
+  uint8_t phase = 2;
+  size_t instants_emitted = 0;
+
+  void OnPivot(size_t iteration, size_t entering, size_t leaving,
+               double objective) {
+    if (ring == nullptr) return;
+    ring->Push(LpPivotStep{phase, iteration, entering, leaving, objective});
+    if (instants_emitted < kMaxPivotInstants && trace::Enabled()) {
+      ++instants_emitted;
+      trace::Instant("lp.pivot",
+                     {{"enter", std::to_string(entering)},
+                      {"leave", std::to_string(leaving)},
+                      {"obj", StrFormat("%.9g", objective)}});
+    }
+  }
+};
 
 // Dense simplex tableau. Row layout: m constraint rows then the objective
 // row; column layout: structural+slack+artificial columns then RHS.
@@ -59,7 +88,8 @@ class Tableau {
 // holds reduced costs w.r.t. the current basis. `allowed` masks columns
 // eligible to enter. Returns false on iteration-limit exhaustion.
 bool RunSimplex(Tableau& t, std::vector<size_t>& basis,
-                const std::vector<bool>& allowed, size_t* iterations) {
+                const std::vector<bool>& allowed, size_t* iterations,
+                PivotSink* sink = nullptr) {
   size_t degenerate_streak = 0;
   for (size_t iter = 0; iter < kMaxIterations; ++iter) {
     // Entering column: Dantzig (most negative reduced cost); switch to
@@ -109,8 +139,14 @@ bool RunSimplex(Tableau& t, std::vector<size_t>& basis,
     }
 
     degenerate_streak = (best_ratio <= kEps) ? degenerate_streak + 1 : 0;
+    size_t leaving_var = basis[leave];
     t.Pivot(leave, enter);
     basis[leave] = enter;
+    // The tableau stores the negated running objective in the corner
+    // cell; report the natural sign so traces read "objective fell".
+    if (sink != nullptr) {
+      sink->OnPivot(*iterations + iter, enter, leaving_var, -t.ObjValue());
+    }
   }
   return false;
 }
@@ -163,6 +199,16 @@ struct SolveMetrics {
 
 Result<LpSolution> LpProblem::Solve() const {
   SolveMetrics solve_metrics;
+  trace::Span solve_span("lp.solve");
+  // Introspection ring: one per solve, shared by both phases, collected
+  // only while tracing is on (the default path allocates nothing).
+  std::unique_ptr<trace::RingBuffer<LpPivotStep>> pivot_ring;
+  if (solve_span.active()) {
+    solve_span.Arg("vars", std::to_string(num_variables()));
+    solve_span.Arg("constraints", std::to_string(num_constraints()));
+    pivot_ring =
+        std::make_unique<trace::RingBuffer<LpPivotStep>>(kPivotTraceCapacity);
+  }
   const size_t n = lower_.size();
 
   // Shifted problem: y_i = x_i - lb_i >= 0. Upper bounds become rows.
@@ -270,47 +316,64 @@ Result<LpSolution> LpProblem::Solve() const {
   size_t iterations = 0;
 
   // ---- Phase 1: minimize sum of artificials. ----
-  if (num_art > 0) {
-    for (size_t c = art_begin; c < cols; ++c) t.Obj(c) = 1.0;
-    // Reduce objective row w.r.t. the initial (artificial) basis.
-    for (size_t r = 0; r < m; ++r) {
-      if (basis[r] >= art_begin) {
-        for (size_t c = 0; c <= cols; ++c) t.Obj(c) -= t.At(r, c);
+  // The span is opened even when the crash basis removed every
+  // artificial, so a trace always shows the phase-1/phase-2 pair; a
+  // zero-pivot phase 1 documents "feasible by construction".
+  {
+    trace::Span phase1_span("lp.phase1");
+    if (phase1_span.active()) {
+      phase1_span.Arg("artificials", std::to_string(num_art));
+    }
+    if (num_art > 0) {
+      for (size_t c = art_begin; c < cols; ++c) t.Obj(c) = 1.0;
+      // Reduce objective row w.r.t. the initial (artificial) basis.
+      for (size_t r = 0; r < m; ++r) {
+        if (basis[r] >= art_begin) {
+          for (size_t c = 0; c <= cols; ++c) t.Obj(c) -= t.At(r, c);
+        }
       }
-    }
-    std::vector<bool> allowed(cols, true);
-    bool phase1_done = RunSimplex(t, basis, allowed, &iterations);
-    solve_metrics.phase1_iterations = iterations;
-    solve_metrics.total_iterations = iterations;
-    if (!phase1_done) {
-      return Status::Internal("phase-1 iteration limit exceeded");
-    }
-    if (-t.ObjValue() > 1e-6) {
-      return Status::Infeasible(
-          StrFormat("phase-1 residual %.3g", -t.ObjValue()));
-    }
-    // Pivot remaining (degenerate) artificials out of the basis.
-    for (size_t r = 0; r < m; ++r) {
-      if (basis[r] >= art_begin) {
-        size_t pivot_col = cols;
-        for (size_t c = 0; c < art_begin; ++c) {
-          if (std::fabs(t.At(r, c)) > kEps) {
-            pivot_col = c;
-            break;
+      std::vector<bool> allowed(cols, true);
+      PivotSink sink{pivot_ring.get(), /*phase=*/1};
+      bool phase1_done = RunSimplex(t, basis, allowed, &iterations, &sink);
+      solve_metrics.phase1_iterations = iterations;
+      solve_metrics.total_iterations = iterations;
+      if (phase1_span.active()) {
+        phase1_span.Arg("pivots", std::to_string(iterations));
+      }
+      if (!phase1_done) {
+        PSO_LOG(WARN).Field("iterations", iterations)
+            << "LP phase-1 iteration limit exceeded";
+        return Status::Internal("phase-1 iteration limit exceeded");
+      }
+      if (-t.ObjValue() > 1e-6) {
+        PSO_LOG(DEBUG).Field("residual", -t.ObjValue()) << "LP infeasible";
+        return Status::Infeasible(
+            StrFormat("phase-1 residual %.3g", -t.ObjValue()));
+      }
+      // Pivot remaining (degenerate) artificials out of the basis.
+      for (size_t r = 0; r < m; ++r) {
+        if (basis[r] >= art_begin) {
+          size_t pivot_col = cols;
+          for (size_t c = 0; c < art_begin; ++c) {
+            if (std::fabs(t.At(r, c)) > kEps) {
+              pivot_col = c;
+              break;
+            }
           }
+          if (pivot_col < cols) {
+            t.Pivot(r, pivot_col);
+            basis[r] = pivot_col;
+          }
+          // Else the row is all-zero over real columns: redundant
+          // constraint; the artificial stays basic at value 0, which is
+          // harmless as long as it cannot re-enter (masked below).
         }
-        if (pivot_col < cols) {
-          t.Pivot(r, pivot_col);
-          basis[r] = pivot_col;
-        }
-        // Else the row is all-zero over real columns: redundant constraint;
-        // the artificial stays basic at value 0, which is harmless as long
-        // as it cannot re-enter (masked below).
       }
     }
   }
 
   // ---- Phase 2: minimize the real objective. ----
+  trace::Span phase2_span("lp.phase2");
   for (size_t c = 0; c <= cols; ++c) t.Obj(c) = 0.0;
   for (size_t i = 0; i < n; ++i) t.Obj(i) = cost_[i];
   for (size_t r = 0; r < m; ++r) {
@@ -322,9 +385,18 @@ Result<LpSolution> LpProblem::Solve() const {
   }
   std::vector<bool> allowed(cols, true);
   for (size_t c = art_begin; c < cols; ++c) allowed[c] = false;
-  bool phase2_done = RunSimplex(t, basis, allowed, &iterations);
+  PivotSink phase2_sink{pivot_ring.get(), /*phase=*/2};
+  bool phase2_done =
+      RunSimplex(t, basis, allowed, &iterations, &phase2_sink);
   solve_metrics.total_iterations = iterations;
+  if (phase2_span.active()) {
+    phase2_span.Arg(
+        "pivots",
+        std::to_string(iterations - solve_metrics.phase1_iterations));
+  }
   if (!phase2_done) {
+    PSO_LOG(WARN).Field("iterations", iterations)
+        << "LP phase-2 iteration limit exceeded";
     return Status::Internal("phase-2 iteration limit exceeded");
   }
   // Unboundedness check: a negative reduced cost with no leaving row leaves
@@ -359,6 +431,10 @@ Result<LpSolution> LpProblem::Solve() const {
   }
   sol.objective = obj;
   sol.iterations = iterations;
+  if (pivot_ring != nullptr) {
+    sol.pivot_trace = pivot_ring->Drain();
+    solve_span.Arg("pivots", std::to_string(iterations));
+  }
   return sol;
 }
 

@@ -1,11 +1,22 @@
 #include "solver/sat.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace pso {
+
+namespace {
+
+// Per-solve cap on decision/backtrack instants emitted into the trace
+// timeline; the step ring keeps recording past this.
+constexpr size_t kMaxSatInstants = 256;
+
+}  // namespace
 
 SatSolver::SatSolver(uint32_t num_vars)
     : num_vars_(num_vars),
@@ -152,6 +163,10 @@ bool SatSolver::Enqueue(Lit l, std::vector<Lit>& trail) {
       values_[LitVar(unit)] =
           LitPositive(unit) ? Assign::kTrue : Assign::kFalse;
       trail.push_back(unit);
+      if (step_ring_ != nullptr) {
+        step_ring_->Push(SatStep{SatStep::Kind::kPropagation, LitVar(unit),
+                                 LitPositive(unit), trail.size()});
+      }
     }
   }
   return true;
@@ -170,6 +185,19 @@ Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
   backtracks_ = 0;
   std::fill(values_.begin(), values_.end(), Assign::kUnset);
 
+  // Introspection ring: created only while tracing is on. Enqueue sees it
+  // through step_ring_, which Publish resets on every exit path.
+  trace::Span solve_span("sat.solve");
+  std::unique_ptr<trace::RingBuffer<SatStep>> step_ring;
+  if (solve_span.active()) {
+    solve_span.Arg("vars", std::to_string(num_vars_));
+    solve_span.Arg("clauses", std::to_string(clauses_.size()));
+    step_ring =
+        std::make_unique<trace::RingBuffer<SatStep>>(kSatStepTraceCapacity);
+    step_ring_ = step_ring.get();
+  }
+  size_t instants_emitted = 0;
+
   // Publish this solve's search statistics on every exit path. The totals
   // are input-deterministic, so the registry's sums stay reproducible.
   struct Publish {
@@ -180,12 +208,19 @@ Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
       metrics::GetCounter("sat.decisions").Add(solver->decisions_);
       metrics::GetCounter("sat.propagations").Add(solver->propagations_);
       metrics::GetCounter("sat.backtracks").Add(solver->backtracks_);
+      solver->step_ring_ = nullptr;
     }
   } publish{this};
+
+  // Attaches the retained steps to a finished solution.
+  auto attach_steps = [&](SatSolution& s) {
+    if (step_ring != nullptr) s.step_trace = step_ring->Drain();
+  };
 
   SatSolution out;
   if (trivially_unsat_) {
     out.satisfiable = false;
+    attach_steps(out);
     return out;
   }
 
@@ -196,6 +231,7 @@ Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
       if (!Enqueue(clause[0], trail)) {
         out.satisfiable = false;
         out.propagations = propagations_;
+        attach_steps(out);
         return out;
       }
     }
@@ -233,12 +269,23 @@ Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
       out.decisions = decisions_;
       out.propagations = propagations_;
       out.backtracks = backtracks_;
+      attach_steps(out);
       return out;
     }
 
     ++decisions_;
     if (max_decisions > 0 && decisions_ > max_decisions) {
       return Status::Internal("SAT decision limit exceeded");
+    }
+    if (step_ring_ != nullptr) {
+      step_ring_->Push(SatStep{SatStep::Kind::kDecision,
+                               static_cast<uint32_t>(v), true, trail.size()});
+      if (instants_emitted < kMaxSatInstants && trace::Enabled()) {
+        ++instants_emitted;
+        trace::Instant("sat.decision",
+                       {{"var", std::to_string(v)},
+                        {"depth", std::to_string(stack.size())}});
+      }
     }
 
     stack.push_back(
@@ -256,12 +303,23 @@ Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
         out.decisions = decisions_;
         out.propagations = propagations_;
         out.backtracks = backtracks_;
+        attach_steps(out);
         return out;
       }
       Frame& frame = stack.back();
       Unwind(trail, frame.trail_size);
       frame.tried_second = true;
       ++backtracks_;
+      if (step_ring_ != nullptr) {
+        step_ring_->Push(SatStep{SatStep::Kind::kBacktrack, frame.var, false,
+                                 trail.size()});
+        if (instants_emitted < kMaxSatInstants && trace::Enabled()) {
+          ++instants_emitted;
+          trace::Instant("sat.backtrack",
+                         {{"var", std::to_string(frame.var)},
+                          {"depth", std::to_string(stack.size())}});
+        }
+      }
       ok = Enqueue(MakeLit(frame.var, false), trail);
     }
   }

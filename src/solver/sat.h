@@ -26,6 +26,27 @@ inline uint32_t LitVar(Lit l) { return l >> 1; }
 inline bool LitPositive(Lit l) { return (l & 1u) == 0; }
 inline Lit LitNegate(Lit l) { return l ^ 1u; }
 
+namespace trace {
+template <typename T>
+class RingBuffer;
+}  // namespace trace
+
+/// One step of the DPLL search, as recorded by the introspection trace.
+struct SatStep {
+  enum class Kind : uint8_t {
+    kDecision = 0,     ///< Branching decision (first phase: value true).
+    kPropagation = 1,  ///< Forced assignment from unit propagation.
+    kBacktrack = 2,    ///< Conflict-driven flip to the second phase.
+  };
+  Kind kind = Kind::kDecision;
+  uint32_t var = 0;        ///< Variable acted on.
+  bool value = false;      ///< Value assigned (false for a flip's target).
+  size_t trail_depth = 0;  ///< Assignment-trail depth when recorded.
+};
+
+/// Ring capacity of SatSolution::step_trace.
+inline constexpr size_t kSatStepTraceCapacity = 512;
+
 /// Result of a SAT solve.
 struct SatSolution {
   bool satisfiable = false;
@@ -33,6 +54,12 @@ struct SatSolution {
   size_t decisions = 0;          ///< Branching decisions explored.
   size_t propagations = 0;       ///< Unit propagations performed.
   size_t backtracks = 0;         ///< Decision flips forced by conflicts.
+  /// Step-by-step audit trail of the search: the most recent
+  /// kSatStepTraceCapacity decision/propagation/backtrack steps (a
+  /// bounded ring). Collected only while tracing is enabled
+  /// (trace::Enabled()); empty otherwise, so the default path pays one
+  /// null check per step.
+  std::vector<SatStep> step_trace;
 };
 
 /// CNF formula and DPLL search.
@@ -96,6 +123,9 @@ class SatSolver {
   size_t decisions_ = 0;
   size_t propagations_ = 0;
   size_t backtracks_ = 0;
+  // Introspection sink: points at a Solve-local ring while tracing is
+  // enabled, null otherwise (Enqueue checks it on each propagation).
+  trace::RingBuffer<SatStep>* step_ring_ = nullptr;
 };
 
 }  // namespace pso

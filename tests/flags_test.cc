@@ -70,5 +70,97 @@ TEST(FlagsTest, MultiplePositionals) {
   EXPECT_EQ(f.positional()[1], "extra");
 }
 
+TEST(FlagsTest, EmptyFlagNamesAreParseErrors) {
+  Flags f = Parse({"x", "--", "--=7"});
+  EXPECT_EQ(f.parse_errors().size(), 2u);
+  Flags ok = Parse({"x", "--n=1"});
+  EXPECT_TRUE(ok.parse_errors().empty());
+}
+
+TEST(FlagsTest, UnknownFlagsReportsUnlistedNames) {
+  Flags f = Parse({"x", "--n=1", "--bogus", "--eps=0.5"});
+  std::vector<std::string> unknown = f.UnknownFlags({"n", "eps"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "bogus");
+  EXPECT_TRUE(f.UnknownFlags({"n", "eps", "bogus"}).empty());
+}
+
+TEST(FlagsTest, WellFormedIntAcceptsSignedDigits) {
+  EXPECT_TRUE(WellFormedInt("42"));
+  EXPECT_TRUE(WellFormedInt("-7"));
+  EXPECT_TRUE(WellFormedInt("+3"));
+  EXPECT_FALSE(WellFormedInt(""));
+  EXPECT_FALSE(WellFormedInt("-"));
+  EXPECT_FALSE(WellFormedInt("abc"));
+  EXPECT_FALSE(WellFormedInt("4.5"));
+  EXPECT_FALSE(WellFormedInt("12x"));
+}
+
+TEST(FlagsTest, WellFormedDoubleAcceptsFullStrtodValues) {
+  EXPECT_TRUE(WellFormedDouble("0.5"));
+  EXPECT_TRUE(WellFormedDouble("-1e-4"));
+  EXPECT_TRUE(WellFormedDouble("3"));
+  EXPECT_FALSE(WellFormedDouble(""));
+  EXPECT_FALSE(WellFormedDouble("abc"));
+  EXPECT_FALSE(WellFormedDouble("1.5garbage"));
+}
+
+TEST(FlagsTest, ValidateFlagsPassesWellTypedInvocation) {
+  Flags f = Parse({"game", "--n=400", "--eps=1.5", "--dp-median",
+                   "--mechanism", "laplace"});
+  std::vector<FlagSpec> specs = {
+      {"n", FlagSpec::Type::kInt},
+      {"eps", FlagSpec::Type::kDouble},
+      {"dp-median", FlagSpec::Type::kBool},
+      {"mechanism", FlagSpec::Type::kString},
+  };
+  std::vector<std::string> errors;
+  EXPECT_TRUE(ValidateFlags(f, specs, &errors));
+  EXPECT_TRUE(errors.empty());
+}
+
+TEST(FlagsTest, ValidateFlagsRejectsUnknownFlag) {
+  Flags f = Parse({"game", "--n=400", "--bogus=1"});
+  std::vector<FlagSpec> specs = {{"n", FlagSpec::Type::kInt}};
+  std::vector<std::string> errors;
+  EXPECT_FALSE(ValidateFlags(f, specs, &errors));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("unknown flag --bogus"), std::string::npos);
+}
+
+TEST(FlagsTest, ValidateFlagsRejectsMalformedValues) {
+  Flags f = Parse({"game", "--n=abc", "--eps=x", "--dp-median=maybe"});
+  std::vector<FlagSpec> specs = {
+      {"n", FlagSpec::Type::kInt},
+      {"eps", FlagSpec::Type::kDouble},
+      {"dp-median", FlagSpec::Type::kBool},
+  };
+  std::vector<std::string> errors;
+  EXPECT_FALSE(ValidateFlags(f, specs, &errors));
+  EXPECT_EQ(errors.size(), 3u);
+  for (const std::string& e : errors) {
+    EXPECT_NE(e.find("malformed value"), std::string::npos) << e;
+  }
+}
+
+TEST(FlagsTest, ValidateFlagsAcceptsBoolSpellings) {
+  Flags f = Parse({"x", "--a=true", "--b=false", "--c=0", "--d=1", "--e"});
+  std::vector<FlagSpec> specs = {{"a", FlagSpec::Type::kBool},
+                                 {"b", FlagSpec::Type::kBool},
+                                 {"c", FlagSpec::Type::kBool},
+                                 {"d", FlagSpec::Type::kBool},
+                                 {"e", FlagSpec::Type::kBool}};
+  std::vector<std::string> errors;
+  EXPECT_TRUE(ValidateFlags(f, specs, &errors)) << (errors.empty() ? "" : errors[0]);
+}
+
+TEST(FlagsTest, ValidateFlagsSurfacesParseErrors) {
+  Flags f = Parse({"x", "--=3", "--n=1"});
+  std::vector<FlagSpec> specs = {{"n", FlagSpec::Type::kInt}};
+  std::vector<std::string> errors;
+  EXPECT_FALSE(ValidateFlags(f, specs, &errors));
+  EXPECT_EQ(errors.size(), 1u);
+}
+
 }  // namespace
 }  // namespace pso::tools

@@ -1,4 +1,8 @@
-// Minimal command-line flag parsing for the psoctl tool.
+// Minimal command-line flag parsing for the psoctl tool and the bench
+// binaries, plus strict validation helpers: a subcommand declares the
+// flags it understands (FlagSpec) and ValidateFlags rejects anything
+// unknown or malformed, so typos fail loudly instead of silently running
+// with defaults.
 
 #ifndef PSO_TOOLS_FLAGS_H_
 #define PSO_TOOLS_FLAGS_H_
@@ -27,6 +31,11 @@ class Flags {
         } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) !=
                                        0) {
           value = argv[++i];
+        }
+        if (key.empty()) {
+          // "--" or "--=v": not a flag name we can act on.
+          parse_errors_.push_back("malformed argument '" + arg + "'");
+          continue;
         }
         values_[key] = value;
       } else {
@@ -72,10 +81,105 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Arguments that could not be parsed as flags at all ("--", "--=v").
+  const std::vector<std::string>& parse_errors() const {
+    return parse_errors_;
+  }
+
+  /// Flag names present on the command line but absent from `known`.
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const {
+    std::vector<std::string> unknown;
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const std::string& k : known) {
+        if (k == key) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) unknown.push_back(key);
+    }
+    return unknown;
+  }
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  std::vector<std::string> parse_errors_;
 };
+
+/// True iff `s` is a well-formed (optionally signed) decimal integer —
+/// what GetInt can parse without silently truncating garbage to 0.
+inline bool WellFormedInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '+' || s[0] == '-') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+/// True iff `s` parses completely as a floating-point number.
+inline bool WellFormedDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+/// Declares one flag a command accepts and how its value must look.
+struct FlagSpec {
+  enum class Type { kString, kInt, kDouble, kBool };
+  const char* name;
+  Type type = Type::kString;
+};
+
+/// Checks `flags` against a command's spec table. Returns true when every
+/// present flag is known and well-formed; otherwise appends one
+/// human-readable complaint per problem to `errors`.
+inline bool ValidateFlags(const Flags& flags,
+                          const std::vector<FlagSpec>& specs,
+                          std::vector<std::string>* errors) {
+  bool ok = true;
+  for (const std::string& e : flags.parse_errors()) {
+    errors->push_back(e);
+    ok = false;
+  }
+  std::vector<std::string> known;
+  known.reserve(specs.size());
+  for (const FlagSpec& spec : specs) known.push_back(spec.name);
+  for (const std::string& u : flags.UnknownFlags(known)) {
+    errors->push_back("unknown flag --" + u);
+    ok = false;
+  }
+  for (const FlagSpec& spec : specs) {
+    if (!flags.Has(spec.name)) continue;
+    const std::string value = flags.GetString(spec.name, "");
+    bool well_formed = true;
+    switch (spec.type) {
+      case FlagSpec::Type::kString:
+        break;
+      case FlagSpec::Type::kInt:
+        well_formed = WellFormedInt(value);
+        break;
+      case FlagSpec::Type::kDouble:
+        well_formed = WellFormedDouble(value);
+        break;
+      case FlagSpec::Type::kBool:
+        well_formed = value == "true" || value == "false" || value == "0" ||
+                      value == "1";
+        break;
+    }
+    if (!well_formed) {
+      errors->push_back("malformed value for --" + std::string(spec.name) +
+                        ": '" + value + "'");
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 }  // namespace pso::tools
 

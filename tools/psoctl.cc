@@ -21,6 +21,15 @@
 // --metrics dumps the global metric registry (solver counters, spans,
 // pool gauges) after the subcommand finishes. Counters are deterministic
 // given --seed and --threads; timers and gauges are wall-clock artifacts.
+//
+// --trace FILE records a hierarchical execution trace (pipeline spans,
+// per-chunk parallel regions, LP pivot / SAT decision events) and writes
+// it as Chrome trace-event JSON — load it at ui.perfetto.dev. --log-level
+// {debug,info,warn,error} sets the structured-log threshold (default
+// warn; JSON lines on stderr).
+//
+// Unknown or malformed flags are rejected: each subcommand declares the
+// flags it accepts, and anything else prints usage and exits non-zero.
 
 #include <cstdio>
 #include <memory>
@@ -28,10 +37,12 @@
 #include <cmath>
 
 #include "census/reidentify.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "data/generators.h"
 #include "dp/audit.h"
 #include "dp/mechanisms.h"
@@ -61,6 +72,56 @@ int Usage() {
       "[--flags]\n  (see the header of tools/psoctl.cc for the full flag "
       "list)\n");
   return 2;
+}
+
+// Flags every subcommand accepts.
+const std::vector<FlagSpec> kCommonFlags = {
+    {"threads", FlagSpec::Type::kInt},
+    {"seed", FlagSpec::Type::kInt},
+    {"metrics", FlagSpec::Type::kBool},
+    {"trace", FlagSpec::Type::kString},
+    {"log-level", FlagSpec::Type::kString},
+};
+
+// The full flag table for `command`; empty for an unknown command.
+std::vector<FlagSpec> CommandFlags(const std::string& command) {
+  std::vector<FlagSpec> specs;
+  if (command == "game") {
+    specs = {{"mechanism", FlagSpec::Type::kString},
+             {"adversary", FlagSpec::Type::kString},
+             {"n", FlagSpec::Type::kInt},
+             {"k", FlagSpec::Type::kInt},
+             {"eps", FlagSpec::Type::kDouble},
+             {"trials", FlagSpec::Type::kInt},
+             {"tau", FlagSpec::Type::kDouble}};
+  } else if (command == "census") {
+    specs = {{"blocks", FlagSpec::Type::kInt},
+             {"min-size", FlagSpec::Type::kInt},
+             {"max-size", FlagSpec::Type::kInt},
+             {"eps", FlagSpec::Type::kDouble},
+             {"dp-median", FlagSpec::Type::kBool}};
+  } else if (command == "linkage") {
+    specs = {{"n", FlagSpec::Type::kInt},
+             {"coverage", FlagSpec::Type::kDouble},
+             {"k", FlagSpec::Type::kInt}};
+  } else if (command == "recon") {
+    specs = {{"n", FlagSpec::Type::kInt},
+             {"queries", FlagSpec::Type::kInt},
+             {"alpha", FlagSpec::Type::kDouble},
+             {"decoder", FlagSpec::Type::kString}};
+  } else if (command == "audit") {
+    specs = {{"eps", FlagSpec::Type::kDouble},
+             {"trials", FlagSpec::Type::kInt}};
+  } else if (command == "membership") {
+    specs = {{"attrs", FlagSpec::Type::kInt},
+             {"pool", FlagSpec::Type::kInt},
+             {"eps", FlagSpec::Type::kDouble},
+             {"trials", FlagSpec::Type::kInt}};
+  } else {
+    return specs;
+  }
+  specs.insert(specs.end(), kCommonFlags.begin(), kCommonFlags.end());
+  return specs;
 }
 
 int RunGame(const Flags& flags) {
@@ -311,12 +372,52 @@ int Dispatch(const std::string& command, const Flags& flags) {
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   if (flags.positional().empty()) return Usage();
-  int rc = Dispatch(flags.positional()[0], flags);
+  const std::string command = flags.positional()[0];
+
+  std::vector<FlagSpec> specs = CommandFlags(command);
+  if (specs.empty()) {
+    std::fprintf(stderr, "psoctl: unknown command '%s'\n", command.c_str());
+    return Usage();
+  }
+  std::vector<std::string> errors;
+  if (!ValidateFlags(flags, specs, &errors)) {
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "psoctl %s: %s\n", command.c_str(), e.c_str());
+    }
+    return Usage();
+  }
+
+  const std::string level_name = flags.GetString("log-level", "");
+  if (!level_name.empty()) {
+    log::Level level;
+    if (!log::ParseLevel(level_name, &level)) {
+      std::fprintf(stderr,
+                   "psoctl: invalid --log-level '%s' "
+                   "(use debug|info|warn|error)\n",
+                   level_name.c_str());
+      return Usage();
+    }
+    log::SetMinLevel(level);
+  }
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    trace::Collector::Global().Enable();
+    // Remembered so an aborting PSO_CHECK still flushes a partial trace.
+    trace::Collector::Global().SetFlushPath(trace_path);
+  }
+
+  int rc = Dispatch(command, flags);
   if (flags.GetBool("metrics", false)) {
     std::printf("\n-- metric registry --\n%s",
                 metrics::SnapshotToText(
                     metrics::Registry::Global().TakeSnapshot())
                     .c_str());
+  }
+  if (!trace_path.empty()) {
+    if (trace::Collector::Global().WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+    }
+    trace::Collector::Global().Disable();
   }
   return rc;
 }
