@@ -1,0 +1,45 @@
+// Fuzz target: CSV dataset import (data/csv.h).
+//
+// Arbitrary text against a fixed schema must either parse or fail with a
+// Status — never crash, and never admit an out-of-domain record. Accepted
+// datasets must survive a DatasetToCsv/DatasetFromCsv round trip intact.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace {
+
+const pso::Schema& FuzzSchema() {
+  static const pso::Schema* schema = new pso::Schema({
+      pso::Attribute::Categorical("sex", {"f", "m"}),
+      pso::Attribute::Integer("age", 0, 120),
+      pso::Attribute::Categorical("zip", {"02138", "02139", "02140"}),
+  });
+  return *schema;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const pso::Schema& schema = FuzzSchema();
+  std::string csv(reinterpret_cast<const char*>(data), size);
+  pso::Result<pso::Dataset> parsed = pso::DatasetFromCsv(schema, csv);
+  if (!parsed.ok()) return 0;
+
+  // Every accepted record must be in-domain.
+  for (const pso::Record& r : parsed->records()) {
+    if (!schema.IsValidRecord(r)) std::abort();
+  }
+
+  // Export/import must be the identity on accepted datasets.
+  pso::Result<pso::Dataset> again =
+      pso::DatasetFromCsv(schema, pso::DatasetToCsv(*parsed));
+  if (!again.ok() || again->records() != parsed->records()) std::abort();
+  return 0;
+}

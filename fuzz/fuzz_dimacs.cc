@@ -1,0 +1,46 @@
+// Fuzz target: DIMACS CNF parser (solver/dimacs.h).
+//
+// Any byte string must either parse or fail with a Status — never crash.
+// Accepted formulas must round-trip through ToDimacs and, when small,
+// solve; a reported model must actually satisfy the formula.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "solver/dimacs.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  pso::Result<pso::DimacsCnf> parsed = pso::ParseDimacsCnf(text);
+  if (!parsed.ok()) return 0;
+
+  // Accepted input: rendering and re-parsing must be the identity.
+  pso::Result<pso::DimacsCnf> again =
+      pso::ParseDimacsCnf(pso::ToDimacs(*parsed));
+  if (!again.ok() || again->num_vars != parsed->num_vars ||
+      again->clauses != parsed->clauses) {
+    std::abort();
+  }
+
+  // Small formulas: the solver must accept them, and a SAT verdict must
+  // come with a genuine model.
+  if (parsed->num_vars <= 24 && parsed->clauses.size() <= 64) {
+    pso::SatSolver solver = pso::BuildSatSolver(*parsed);
+    if (!solver.build_status().ok()) std::abort();
+    pso::Result<pso::SatSolution> sol = solver.Solve(/*max_decisions=*/20000);
+    if (sol.ok() && sol->satisfiable) {
+      for (const std::vector<pso::Lit>& clause : parsed->clauses) {
+        bool sat = false;
+        for (pso::Lit l : clause) {
+          if (sol->assignment[pso::LitVar(l)] == pso::LitPositive(l)) {
+            sat = true;
+            break;
+          }
+        }
+        if (!sat) std::abort();
+      }
+    }
+  }
+  return 0;
+}

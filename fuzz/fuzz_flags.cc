@@ -1,0 +1,62 @@
+// Fuzz target: command-line parsing and validation (tools/flags.h).
+//
+// The input is split on newlines into an argv; parsing, validation, and
+// every getter must be total. ValidateFlags must fail whenever the parser
+// recorded an unparseable argument, and must never report an unknown flag
+// as valid.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tools/flags.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Rebuild an argv from newline-separated tokens (argv[0] is the
+  // program name and is skipped by the parser).
+  std::vector<std::string> tokens = {"fuzz_flags"};
+  std::string current;
+  for (size_t i = 0; i < size; ++i) {
+    char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      tokens.push_back(current);
+      current.clear();
+    } else if (c != '\0') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  if (tokens.size() > 64) tokens.resize(64);
+
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& t : tokens) argv.push_back(t.data());
+
+  pso::tools::Flags flags(static_cast<int>(argv.size()), argv.data());
+
+  const std::vector<pso::tools::FlagSpec> specs = {
+      {"trials", pso::tools::FlagSpec::Type::kInt},
+      {"epsilon", pso::tools::FlagSpec::Type::kDouble},
+      {"out", pso::tools::FlagSpec::Type::kString},
+      {"verbose", pso::tools::FlagSpec::Type::kBool},
+      {"threads", pso::tools::FlagSpec::Type::kInt},
+  };
+  std::vector<std::string> errors;
+  bool ok = pso::tools::ValidateFlags(flags, specs, &errors);
+
+  // Validation verdict and error list must agree.
+  if (ok != errors.empty()) std::abort();
+  // A malformed argument can never validate.
+  if (ok && !flags.parse_errors().empty()) std::abort();
+  // Known flags that validated must parse cleanly through the getters.
+  if (ok && flags.Has("trials")) {
+    (void)flags.GetInt("trials", 0);
+  }
+  (void)flags.GetDouble("epsilon", 0.0);
+  (void)flags.GetBool("verbose", false);
+  (void)flags.GetThreads();
+  (void)flags.GetString("out", "");
+  (void)flags.positional();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fuzz target: binary LP-instance decoder (solver/lp_io.h).
+//
+// Any byte string must either decode or fail with a Status — never
+// crash or over-allocate. Accepted instances must re-encode to a
+// decodable payload, build a clean LpProblem, and (when small) survive a
+// Solve() call with any Status outcome.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "solver/lp.h"
+#include "solver/lp_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  pso::Result<pso::LpInstance> decoded = pso::DecodeLpInstance(data, size);
+  if (!decoded.ok()) return 0;
+
+  // Decoder acceptance implies encoder round-trip and builder acceptance.
+  pso::Result<pso::LpInstance> again =
+      pso::DecodeLpInstance(pso::EncodeLpInstance(*decoded));
+  if (!again.ok()) std::abort();
+
+  pso::LpProblem lp = decoded->ToProblem();
+  if (!lp.build_status().ok()) std::abort();
+
+  if (decoded->variables.size() <= 12 && decoded->rows.size() <= 24) {
+    pso::Result<pso::LpSolution> sol = lp.Solve();
+    if (sol.ok()) {
+      // Optimum must respect the variable bounds it was solved under.
+      for (size_t i = 0; i < decoded->variables.size(); ++i) {
+        const pso::LpInstance::Variable& v = decoded->variables[i];
+        if (sol->values[i] < v.lower - 1e-6 ||
+            sol->values[i] > v.upper + 1e-6) {
+          std::abort();
+        }
+      }
+    }
+  }
+  return 0;
+}

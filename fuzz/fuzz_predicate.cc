@@ -1,0 +1,109 @@
+// Fuzz target: predicate expression builder (predicate/predicate.h).
+//
+// Raw bytes drive the construction of a predicate tree over a fixed
+// schema — including out-of-domain constants, empty conjunctions, and
+// deep nesting. Building, describing, and evaluating must be total, and
+// every analytic weight must be a probability consistent with negation.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/distribution.h"
+#include "data/schema.h"
+#include "fuzz_util.h"
+#include "predicate/predicate.h"
+
+namespace {
+
+using pso::fuzz::ByteReader;
+
+const pso::ProductDistribution& FuzzDistribution() {
+  static const pso::ProductDistribution* dist = [] {
+    pso::Schema schema({
+        pso::Attribute::Categorical("color", {"r", "g", "b"}),
+        pso::Attribute::Integer("count", -2, 5),
+    });
+    std::vector<pso::Marginal> marginals;
+    marginals.emplace_back(0, std::vector<double>{0.5, 0.3, 0.2});
+    marginals.emplace_back(-2, std::vector<double>{1, 1, 2, 2, 1, 1, 1, 1});
+    return new pso::ProductDistribution(schema, std::move(marginals));
+  }();
+  return *dist;
+}
+
+// Builds a predicate tree from the byte stream; depth-bounded so the
+// fuzzer cannot blow the stack.
+pso::PredicateRef BuildTree(ByteReader& r, size_t depth) {
+  const pso::Schema& schema = FuzzDistribution().schema();
+  size_t num_attrs = schema.NumAttributes();
+  uint8_t op = r.U8();
+  if (depth == 0) op = static_cast<uint8_t>(op % 5);  // leaves only
+  switch (op % 8) {
+    case 0:
+      return pso::MakeTrue();
+    case 1:
+      return pso::MakeFalse();
+    case 2:
+      // Deliberately unconstrained value: out-of-domain constants must be
+      // handled (predicate just never matches).
+      return pso::MakeAttributeEquals(r.Below(num_attrs),
+                                      r.Range(-100, 100));
+    case 3: {
+      std::vector<int64_t> values;
+      size_t n = r.Below(6);
+      for (size_t i = 0; i < n; ++i) values.push_back(r.Range(-10, 10));
+      return pso::MakeAttributeIn(r.Below(num_attrs), std::move(values));
+    }
+    case 4: {
+      int64_t a = r.Range(-10, 10);
+      int64_t b = r.Range(-10, 10);
+      // Empty ranges (a > b) are legal inputs and must yield weight 0.
+      return pso::MakeAttributeRange(r.Below(num_attrs), a, b);
+    }
+    case 5: {
+      std::vector<pso::PredicateRef> terms;
+      size_t n = r.Below(4);
+      for (size_t i = 0; i < n; ++i) terms.push_back(BuildTree(r, depth - 1));
+      return pso::MakeAnd(std::move(terms));
+    }
+    case 6: {
+      std::vector<pso::PredicateRef> terms;
+      size_t n = r.Below(4);
+      for (size_t i = 0; i < n; ++i) terms.push_back(BuildTree(r, depth - 1));
+      return pso::MakeOr(std::move(terms));
+    }
+    default:
+      return pso::MakeNot(BuildTree(r, depth - 1));
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  const pso::ProductDistribution& dist = FuzzDistribution();
+  pso::PredicateRef pred = BuildTree(reader, /*depth=*/6);
+
+  // Description and evaluation must be total.
+  (void)pred->Description();
+  (void)pred->AttributesTouched();
+  pso::Rng rng(42);
+  for (int i = 0; i < 16; ++i) {
+    pso::Record rec = dist.Sample(rng);
+    bool v = pred->Eval(rec);
+    // Negation must be the exact pointwise complement.
+    if (pso::MakeNot(pred)->Eval(rec) == v) std::abort();
+  }
+
+  // Analytic weights must be probabilities, and Not must complement them.
+  std::optional<double> w = pred->ExactWeight(dist);
+  if (w.has_value()) {
+    if (!(*w >= -1e-12 && *w <= 1.0 + 1e-12)) std::abort();
+    std::optional<double> nw = pso::MakeNot(pred)->ExactWeight(dist);
+    if (nw.has_value() && std::fabs(*nw - (1.0 - *w)) > 1e-9) std::abort();
+  }
+  return 0;
+}

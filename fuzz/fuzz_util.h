@@ -1,0 +1,88 @@
+// Structure-aware consumption of raw fuzzer bytes.
+//
+// ByteReader slices an input buffer into integers, doubles, and strings
+// so harnesses can derive structured instances (predicate trees, CSP
+// constraints) from flat data. All reads are total: past the end of the
+// buffer every method returns zeros/empties, so a harness never branches
+// on uninitialized memory and shorter inputs simply produce smaller
+// instances — which is what lets libFuzzer's trimming work.
+
+#ifndef PSO_FUZZ_FUZZ_UTIL_H_
+#define PSO_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pso::fuzz {
+
+/// Consumes typed values from the front of a fuzzer input buffer.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  /// Next byte, or 0 when exhausted.
+  uint8_t U8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  /// Next little-endian u32 (zero-padded when exhausted).
+  uint32_t U32() {
+    uint8_t b[4] = {U8(), U8(), U8(), U8()};
+    uint32_t v;
+    std::memcpy(&v, b, 4);
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t lo = U32();
+    uint64_t hi = U32();
+    return (hi << 32) | lo;
+  }
+
+  /// Integer in [0, bound); bound 0 returns 0.
+  size_t Below(size_t bound) {
+    return bound == 0 ? 0 : static_cast<size_t>(U32() % bound);
+  }
+
+  /// Integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<size_t>(hi - lo) + 1));
+  }
+
+  bool Bool() { return (U8() & 1) != 0; }
+
+  /// Double built from raw bits — may be NaN/Inf/denormal; harnesses that
+  /// want those adversarial values use this.
+  double RawDouble() {
+    uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  /// Small "reasonable" double in about [-8, 8] with quarter steps.
+  double SmallDouble() { return (Range(-32, 32)) / 4.0; }
+
+  /// Up to `max_len` raw bytes as a string.
+  std::string String(size_t max_len) {
+    size_t n = max_len < remaining() ? max_len : remaining();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// The rest of the buffer as a string.
+  std::string Rest() { return String(remaining()); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pso::fuzz
+
+#endif  // PSO_FUZZ_FUZZ_UTIL_H_

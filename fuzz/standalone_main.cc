@@ -1,0 +1,181 @@
+// Standalone driver for the fuzz harnesses, used when the toolchain has
+// no libFuzzer (-fsanitize=fuzzer is clang-only; the default CI compiler
+// is gcc). Links against the same LLVMFuzzerTestOneInput entry point and
+// speaks a small subset of libFuzzer's command line:
+//
+//   harness [options] [corpus file or directory]...
+//     -max_total_time=S   after replaying the corpus, run a deterministic
+//                         mutation loop for ~S seconds
+//     -runs=N             or for exactly N mutated inputs
+//     -seed=N             master seed for the mutation loop (default 1)
+//     -artifact_prefix=P  where the currently-executing input is staged
+//
+// Replaying the corpus is the default mode (exactly what the CI smoke job
+// needs); mutation mode stages each input at <artifact_prefix>crash-last
+// before executing it, so when a sanitizer kills the process the
+// reproducer is already on disk. The staging file is removed on a clean
+// exit.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint8_t> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void RunOne(const std::vector<uint8_t>& input) {
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+// One libFuzzer-ish mutation: erase, insert, flip, or splice.
+std::vector<uint8_t> Mutate(const std::vector<std::vector<uint8_t>>& corpus,
+                            pso::Rng& rng) {
+  std::vector<uint8_t> out;
+  if (!corpus.empty()) {
+    out = corpus[rng.UniformUint64(corpus.size())];
+  }
+  size_t edits = 1 + rng.UniformUint64(8);
+  for (size_t e = 0; e < edits; ++e) {
+    switch (rng.UniformUint64(5)) {
+      case 0:  // flip a byte
+        if (!out.empty()) {
+          out[rng.UniformUint64(out.size())] ^=
+              static_cast<uint8_t>(1u << rng.UniformUint64(8));
+        }
+        break;
+      case 1:  // insert a random byte
+        if (out.size() < (1u << 16)) {
+          out.insert(out.begin() + rng.UniformUint64(out.size() + 1),
+                     static_cast<uint8_t>(rng.UniformUint64(256)));
+        }
+        break;
+      case 2:  // erase a range
+        if (!out.empty()) {
+          size_t at = rng.UniformUint64(out.size());
+          size_t len = 1 + rng.UniformUint64(out.size() - at);
+          out.erase(out.begin() + at, out.begin() + at + len);
+        }
+        break;
+      case 3:  // overwrite with a random byte
+        if (!out.empty()) {
+          out[rng.UniformUint64(out.size())] =
+              static_cast<uint8_t>(rng.UniformUint64(256));
+        }
+        break;
+      default:  // splice a chunk of another corpus entry
+        if (!corpus.empty()) {
+          const std::vector<uint8_t>& other =
+              corpus[rng.UniformUint64(corpus.size())];
+          if (!other.empty() && out.size() < (1u << 16)) {
+            size_t at = rng.UniformUint64(other.size());
+            size_t len = 1 + rng.UniformUint64(other.size() - at);
+            out.insert(out.begin() + rng.UniformUint64(out.size() + 1),
+                       other.begin() + at, other.begin() + at + len);
+          }
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_total_time = 0.0;
+  uint64_t runs = 0;
+  uint64_t seed = 1;
+  std::string artifact_prefix = "./";
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* name) -> const char* {
+      size_t n = std::strlen(name);
+      return arg.compare(0, n, name) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("-max_total_time=")) {
+      max_total_time = std::atof(v);
+    } else if (const char* v = value_of("-runs=")) {
+      runs = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("-seed=")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("-artifact_prefix=")) {
+      artifact_prefix = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore other libFuzzer flags so CI scripts can pass them freely.
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  // Gather and replay the corpus.
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const fs::path& p : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const fs::path& f : files) corpus.push_back(ReadFile(f));
+    } else if (fs::is_regular_file(p, ec)) {
+      corpus.push_back(ReadFile(p));
+    } else {
+      std::fprintf(stderr, "warning: skipping missing input %s\n",
+                   p.string().c_str());
+    }
+  }
+  for (const std::vector<uint8_t>& input : corpus) RunOne(input);
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", corpus.size());
+
+  // Deterministic mutation loop.
+  if (max_total_time > 0.0 || runs > 0) {
+    const std::string artifact = artifact_prefix + "crash-last";
+    pso::Rng rng(seed);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(max_total_time));
+    uint64_t executed = 0;
+    while (true) {
+      if (runs > 0 && executed >= runs) break;
+      if (runs == 0 && std::chrono::steady_clock::now() >= deadline) break;
+      std::vector<uint8_t> input = Mutate(corpus, rng);
+      {
+        // Stage the input first: if the harness dies, this file is the
+        // reproducer CI uploads.
+        std::ofstream out(artifact, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(input.data()),
+                  static_cast<std::streamsize>(input.size()));
+      }
+      RunOne(input);
+      ++executed;
+    }
+    std::fprintf(stderr, "executed %llu mutated inputs (seed=%llu)\n",
+                 static_cast<unsigned long long>(executed),
+                 static_cast<unsigned long long>(seed));
+    std::error_code ec;
+    fs::remove(artifact, ec);
+  }
+  return 0;
+}

@@ -207,6 +207,29 @@ class OrPredicate final : public Predicate {
     all.erase(std::unique(all.begin(), all.end()), all.end());
     return all;
   }
+  std::optional<double> ExactWeight(
+      const ProductDistribution& dist) const override {
+    // De Morgan dual of the conjunction rule: exact when the disjuncts
+    // read pairwise-disjoint attribute sets, since then
+    // Pr[any fires] = 1 - prod_i (1 - w_i) under the product measure.
+    std::unordered_set<size_t> seen;
+    double none = 1.0;
+    for (const auto& t : terms_) {
+      auto attrs = t->AttributesTouched();
+      auto ew = t->ExactWeight(dist);
+      if (!ew.has_value()) return std::nullopt;
+      if (attrs.empty() &&
+          dynamic_cast<const TruePredicate*>(t.get()) == nullptr &&
+          dynamic_cast<const FalsePredicate*>(t.get()) == nullptr) {
+        return std::nullopt;  // unknown footprint (e.g. a hash predicate)
+      }
+      for (size_t a : attrs) {
+        if (!seen.insert(a).second) return std::nullopt;  // overlap
+      }
+      none *= 1.0 - *ew;
+    }
+    return 1.0 - none;
+  }
 
  private:
   std::vector<PredicateRef> terms_;

@@ -1,18 +1,32 @@
 #include "solver/csp.h"
 
-#include "common/check.h"
+#include "common/str_util.h"
 
 namespace pso {
 
 CountCsp::CountCsp(size_t num_vars, size_t domain_size)
     : num_vars_(num_vars), domain_size_(domain_size) {
-  PSO_CHECK(domain_size_ > 0);
+  if (domain_size_ == 0) {
+    build_status_ = Status::InvalidArgument("domain size must be positive");
+  }
 }
 
 void CountCsp::AddCountConstraint(std::vector<bool> match, int64_t lo,
                                   int64_t hi) {
-  PSO_CHECK(match.size() == domain_size_);
-  PSO_CHECK(0 <= lo && lo <= hi);
+  // Poison instead of abort: callers probing with untrusted instances
+  // (fuzzers, decoded tables) observe the error through build_status().
+  if (build_status_.ok()) {
+    if (match.size() != domain_size_) {
+      build_status_ = Status::InvalidArgument(
+          StrFormat("constraint %zu: mask has %zu entries, domain has %zu",
+                    constraints_.size(), match.size(), domain_size_));
+    } else if (lo < 0 || lo > hi) {
+      build_status_ = Status::InvalidArgument(StrFormat(
+          "constraint %zu: malformed count window [%lld, %lld]",
+          constraints_.size(), (long long)lo, (long long)hi));
+    }
+  }
+  if (!build_status_.ok()) return;
   constraints_.push_back(Constraint{std::move(match), lo, hi});
 }
 
@@ -21,6 +35,13 @@ std::vector<std::vector<size_t>> CountCsp::Enumerate(size_t max_solutions,
                                                      CspStats* stats) const {
   CspStats local;
   std::vector<std::vector<size_t>> solutions;
+  // A poisoned instance has no meaningful answer: report an incomplete,
+  // empty search so callers checking build_status() can hard-fail.
+  if (!build_status_.ok()) {
+    local.complete = false;
+    if (stats != nullptr) *stats = local;
+    return solutions;
+  }
 
   // Candidate filter: a value matching any hi == 0 constraint can never be
   // used. For census-style instances (exact zero cells for absent ages)

@@ -35,16 +35,29 @@ struct CspStats {
 
 /// Enumerates assignments of interchangeable variables under count
 /// constraints (see file comment).
+///
+/// Malformed input (zero domain, mask arity mismatch, inverted or
+/// negative count windows) does not abort: the first violation is
+/// recorded and surfaced as an InvalidArgument status by build_status();
+/// Enumerate/IsSatisfiable on a poisoned instance report no solutions
+/// with `complete == false`, so untrusted instances hard-fail
+/// recoverably instead of crashing the process.
 class CountCsp {
  public:
-  /// `num_vars` variables over a shared domain of `domain_size` values.
+  /// `num_vars` variables over a shared domain of `domain_size` values
+  /// (must be positive; zero poisons build_status()).
   CountCsp(size_t num_vars, size_t domain_size);
 
   size_t num_vars() const { return num_vars_; }
   size_t domain_size() const { return domain_size_; }
 
+  /// OK unless the constructor or a builder call above was handed a
+  /// malformed instance; then the first violation, as InvalidArgument.
+  const Status& build_status() const { return build_status_; }
+
   /// Requires: #{ vars assigned value v : match[v] } in [lo, hi].
-  /// `match` must have domain_size entries; 0 <= lo <= hi.
+  /// `match` must have domain_size entries and 0 <= lo <= hi; violations
+  /// poison build_status().
   void AddCountConstraint(std::vector<bool> match, int64_t lo, int64_t hi);
 
   /// Exact form: count == c.
@@ -72,6 +85,7 @@ class CountCsp {
 
   size_t num_vars_;
   size_t domain_size_;
+  Status build_status_;
   std::vector<Constraint> constraints_;
 };
 

@@ -154,8 +154,29 @@ bool RunSimplex(Tableau& t, std::vector<size_t>& basis,
 }  // namespace
 
 size_t LpProblem::AddVariable(double lb, double ub, double cost) {
-  PSO_CHECK_MSG(std::isfinite(lb), "lower bound must be finite");
-  PSO_CHECK_MSG(lb <= ub, "empty variable bounds");
+  // Malformed bounds poison the problem instead of aborting: Solve()
+  // returns build_status_, which keeps the whole builder surface safe for
+  // untrusted (fuzzed/decoded) instances. A placeholder variable is still
+  // appended so returned indices stay dense and later calls stay in range.
+  if (build_status_.ok()) {
+    if (!std::isfinite(lb)) {
+      build_status_ = Status::InvalidArgument(StrFormat(
+          "variable %zu: lower bound must be finite", lower_.size()));
+    } else if (std::isnan(ub) || lb > ub) {
+      build_status_ = Status::InvalidArgument(
+          StrFormat("variable %zu: empty bounds [%g, %g]", lower_.size(), lb,
+                    ub));
+    } else if (!std::isfinite(cost)) {
+      build_status_ = Status::InvalidArgument(
+          StrFormat("variable %zu: cost must be finite", lower_.size()));
+    }
+  }
+  if (!build_status_.ok()) {
+    lower_.push_back(0.0);
+    upper_.push_back(0.0);
+    cost_.push_back(0.0);
+    return lower_.size() - 1;
+  }
   lower_.push_back(lb);
   upper_.push_back(ub);
   cost_.push_back(cost);
@@ -165,10 +186,27 @@ size_t LpProblem::AddVariable(double lb, double ub, double cost) {
 void LpProblem::AddConstraint(
     const std::vector<std::pair<size_t, double>>& coeffs, Relation rel,
     double rhs) {
-  for (const auto& [idx, coeff] : coeffs) {
-    PSO_CHECK_MSG(idx < lower_.size(), "constraint references unknown var");
-    (void)coeff;
+  if (build_status_.ok()) {
+    for (const auto& [idx, coeff] : coeffs) {
+      if (idx >= lower_.size()) {
+        build_status_ = Status::InvalidArgument(
+            StrFormat("constraint %zu references unknown variable %zu",
+                      rows_.size(), idx));
+        break;
+      }
+      if (!std::isfinite(coeff)) {
+        build_status_ = Status::InvalidArgument(StrFormat(
+            "constraint %zu: coefficient of variable %zu must be finite",
+            rows_.size(), idx));
+        break;
+      }
+    }
+    if (build_status_.ok() && !std::isfinite(rhs)) {
+      build_status_ = Status::InvalidArgument(StrFormat(
+          "constraint %zu: right-hand side must be finite", rows_.size()));
+    }
   }
+  if (!build_status_.ok()) return;
   rows_.push_back(Row{coeffs, rel, rhs});
 }
 
@@ -198,6 +236,7 @@ struct SolveMetrics {
 }  // namespace
 
 Result<LpSolution> LpProblem::Solve() const {
+  if (!build_status_.ok()) return build_status_;
   SolveMetrics solve_metrics;
   trace::Span solve_span("lp.solve");
   // Introspection ring: one per solve, shared by both phases, collected

@@ -53,6 +53,12 @@ struct LpSolution {
 inline constexpr size_t kPivotTraceCapacity = 256;
 
 /// A linear program under construction.
+///
+/// Malformed input (non-finite or empty bounds, NaN costs/coefficients,
+/// unknown variable indices) does not abort: the first violation is
+/// recorded and surfaced as an InvalidArgument status by Solve(), so
+/// untrusted instances (fuzzers, decoded files) can probe the builder
+/// freely and still hard-fail with a recoverable Status.
 class LpProblem {
  public:
   static constexpr double kInfinity = std::numeric_limits<double>::infinity();
@@ -60,19 +66,25 @@ class LpProblem {
   LpProblem() = default;
 
   /// Adds a variable with bounds [lb, ub] (ub may be kInfinity) and
-  /// objective coefficient `cost`. Returns its index. Requires lb finite
-  /// and lb <= ub.
+  /// objective coefficient `cost`. Returns its index. Requires lb finite,
+  /// lb <= ub, and cost finite; violations poison build_status().
   size_t AddVariable(double lb, double ub, double cost);
 
   /// Adds a constraint sum_i coeffs[i].second * x_{coeffs[i].first}
-  /// `rel` rhs. Variable indices must already exist.
+  /// `rel` rhs. Variable indices must already exist and coefficients and
+  /// rhs must be finite; violations poison build_status().
   void AddConstraint(const std::vector<std::pair<size_t, double>>& coeffs,
                      Relation rel, double rhs);
 
   size_t num_variables() const { return lower_.size(); }
   size_t num_constraints() const { return rows_.size(); }
 
-  /// Solves to optimality. Returns kInfeasible if phase 1 cannot reach a
+  /// OK unless a builder call above was handed a malformed variable or
+  /// constraint; then the first violation, as InvalidArgument.
+  const Status& build_status() const { return build_status_; }
+
+  /// Solves to optimality. Returns the recorded build_status() error if
+  /// the instance is malformed, kInfeasible if phase 1 cannot reach a
   /// feasible basis, kUnbounded if the objective improves without bound
   /// (our decoding LPs are always bounded, so callers may treat it as a
   /// modeling error), and kInternal on iteration-limit exhaustion.
@@ -89,6 +101,7 @@ class LpProblem {
   std::vector<double> upper_;
   std::vector<double> cost_;
   std::vector<Row> rows_;
+  Status build_status_;
 };
 
 }  // namespace pso

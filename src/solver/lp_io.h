@@ -1,0 +1,70 @@
+// Binary LP-instance encoding/decoding.
+//
+// A compact little-endian wire format for the bounded-variable linear
+// programs the reconstruction attacks build, so instances can be dumped
+// from one run and replayed (or fuzzed) in another. The decoder treats
+// its input as untrusted: every truncation, bad magic, non-finite value,
+// out-of-range index, or cap violation is an InvalidArgument status,
+// never an abort or an over-allocation.
+//
+// Layout (all integers little-endian):
+//   byte[6]  magic "PSOLP1"
+//   u32      num_vars      (<= kLpInstanceMaxVars)
+//   u32      num_rows      (<= kLpInstanceMaxRows)
+//   per variable: f64 lower, f64 upper, f64 cost
+//     (lower finite, lower <= upper, upper may be +inf, cost finite)
+//   per row:      u8 relation (0 <=, 1 >=, 2 ==), f64 rhs (finite),
+//                 u32 nnz (<= num_vars), then nnz x (u32 index, f64 coeff)
+
+#ifndef PSO_SOLVER_LP_IO_H_
+#define PSO_SOLVER_LP_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "solver/lp.h"
+
+namespace pso {
+
+/// Decoder caps: a header declaring more than this is rejected before any
+/// allocation happens.
+inline constexpr uint32_t kLpInstanceMaxVars = 4096;
+inline constexpr uint32_t kLpInstanceMaxRows = 16384;
+
+/// A plain-data LP instance, the unit the codec works on. Convert to a
+/// solver-ready problem with ToProblem().
+struct LpInstance {
+  struct Variable {
+    double lower = 0.0;
+    double upper = 0.0;
+    double cost = 0.0;
+  };
+  struct Row {
+    std::vector<std::pair<size_t, double>> coeffs;
+    Relation rel = Relation::kLessEq;
+    double rhs = 0.0;
+  };
+  std::vector<Variable> variables;
+  std::vector<Row> rows;
+
+  /// Builds the solver problem. The instance produced by a successful
+  /// DecodeLpInstance is always well-formed, so the problem's
+  /// build_status() is OK.
+  LpProblem ToProblem() const;
+};
+
+/// Serializes `instance` into the wire format above.
+std::string EncodeLpInstance(const LpInstance& instance);
+
+/// Parses and fully validates one encoded instance.
+Result<LpInstance> DecodeLpInstance(const uint8_t* data, size_t size);
+
+/// String-payload convenience overload.
+Result<LpInstance> DecodeLpInstance(const std::string& bytes);
+
+}  // namespace pso
+
+#endif  // PSO_SOLVER_LP_IO_H_

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/str_util.h"
 #include "common/trace.h"
 
 namespace pso {
@@ -25,7 +26,18 @@ SatSolver::SatSolver(uint32_t num_vars)
       activity_(num_vars, 0.0) {}
 
 void SatSolver::AddClause(std::vector<Lit> clause) {
-  for (Lit l : clause) PSO_CHECK(LitVar(l) < num_vars_);
+  for (Lit l : clause) {
+    if (LitVar(l) >= num_vars_) {
+      // Poison instead of abort: Solve() surfaces the error as a Status,
+      // keeping the builder safe for untrusted (fuzzed/parsed) formulas.
+      if (build_status_.ok()) {
+        build_status_ = Status::InvalidArgument(
+            StrFormat("clause %zu references undeclared variable %u",
+                      clauses_.size(), LitVar(l)));
+      }
+      return;
+    }
+  }
   // Drop duplicates; detect tautologies.
   std::sort(clause.begin(), clause.end());
   clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
@@ -90,7 +102,15 @@ void SatSolver::AddAtMostK(const std::vector<Lit>& lits, size_t k) {
 
 void SatSolver::AddAtLeastK(const std::vector<Lit>& lits, size_t k) {
   if (k == 0) return;
-  PSO_CHECK_MSG(k <= lits.size(), "at-least-k over too few literals");
+  if (k > lits.size()) {
+    if (build_status_.ok()) {
+      build_status_ = Status::InvalidArgument(
+          StrFormat("at-least-%zu over %zu literals is unsatisfiable by "
+                    "construction",
+                    k, lits.size()));
+    }
+    return;
+  }
   if (k == lits.size()) {
     for (Lit l : lits) AddUnit(l);
     return;
@@ -180,6 +200,7 @@ void SatSolver::Unwind(std::vector<Lit>& trail, size_t keep) {
 }
 
 Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
+  if (!build_status_.ok()) return build_status_;
   decisions_ = 0;
   propagations_ = 0;
   backtracks_ = 0;

@@ -63,12 +63,22 @@ struct SatSolution {
 };
 
 /// CNF formula and DPLL search.
+///
+/// Malformed input (clause literals over undeclared variables,
+/// over-demanding cardinality constraints) does not abort: the first
+/// violation is recorded and surfaced as an InvalidArgument status by
+/// Solve(), so untrusted instances (fuzzers, DIMACS files) can probe the
+/// builder freely and still hard-fail with a recoverable Status.
 class SatSolver {
  public:
   /// Creates a solver over `num_vars` variables.
   explicit SatSolver(uint32_t num_vars);
 
   uint32_t num_vars() const { return num_vars_; }
+
+  /// OK unless a builder call above was handed a malformed clause or
+  /// cardinality constraint; then the first violation, as InvalidArgument.
+  const Status& build_status() const { return build_status_; }
 
   /// Adds a fresh variable (for encodings needing auxiliaries, e.g. the
   /// sequential-counter cardinality constraints) and returns its index.
@@ -115,6 +125,7 @@ class SatSolver {
   void Unwind(std::vector<Lit>& trail, size_t keep);
 
   uint32_t num_vars_;
+  Status build_status_;
   bool trivially_unsat_ = false;
   std::vector<std::vector<Lit>> clauses_;
   std::vector<std::vector<size_t>> watchers_;  // literal -> clause indices

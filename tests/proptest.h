@@ -1,0 +1,86 @@
+// Minimal property-test driver for the differential solver oracles.
+//
+// Design goals, in order: deterministic (every case derives from
+// Rng::StreamAt(master_seed, iteration), so a failure report names the
+// exact (seed, iteration, scale) triple that reproduces it), shrinking
+// (generation is parameterized by an integer `scale`; on failure the
+// driver re-generates the same stream at scale/2, scale/4, ... and
+// reports the smallest still-failing instance), and zero dependencies
+// beyond GTest and pso::Rng.
+//
+// Usage:
+//   proptest::Config cfg{.master_seed = 41, .iterations = 200,
+//                        .max_scale = 16};
+//   EXPECT_TRUE(proptest::ForAll<MyCase>(
+//       cfg,
+//       [](Rng& rng, size_t scale) { return GenCase(rng, scale); },
+//       [](const MyCase& c) { return CheckCase(c); }));  // "" = pass
+//
+// The property returns an empty string on success and a diagnostic on
+// failure; the driver folds the diagnostics of the original and the
+// shrunk instance into the GTest assertion message.
+
+#ifndef PSO_TESTS_PROPTEST_H_
+#define PSO_TESTS_PROPTEST_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace pso::proptest {
+
+/// Knobs for one ForAll run.
+struct Config {
+  uint64_t master_seed = 0;  ///< Stream family; pin per test.
+  size_t iterations = 100;   ///< Cases to generate.
+  size_t max_scale = 16;     ///< Size hint handed to the generator.
+  size_t min_scale = 1;      ///< Shrinking floor (halving stops here).
+};
+
+/// Runs `property` over `cfg.iterations` generated cases. `gen` is
+/// called as gen(rng, scale) with a fresh counter-derived stream per
+/// iteration; `property` returns "" to accept a case or a diagnostic to
+/// reject it. On rejection the case is re-generated at halved scales
+/// (same stream) to find the smallest failing instance before reporting.
+template <typename T, typename Gen, typename Prop>
+::testing::AssertionResult ForAll(const Config& cfg, Gen gen, Prop property) {
+  for (size_t iter = 0; iter < cfg.iterations; ++iter) {
+    auto run_at = [&](size_t scale, std::string* diag) {
+      Rng rng = Rng::StreamAt(cfg.master_seed, iter);
+      T value = gen(rng, scale);
+      *diag = property(value);
+      return diag->empty();
+    };
+
+    std::string diag;
+    if (run_at(cfg.max_scale, &diag)) continue;
+
+    // Shrink by halving the scale while the property still fails.
+    size_t failing_scale = cfg.max_scale;
+    std::string failing_diag = diag;
+    for (size_t scale = cfg.max_scale / 2; scale >= cfg.min_scale;
+         scale /= 2) {
+      std::string smaller_diag;
+      if (!run_at(scale, &smaller_diag)) {
+        failing_scale = scale;
+        failing_diag = smaller_diag;
+      }
+      if (scale == cfg.min_scale) break;
+    }
+    return ::testing::AssertionFailure()
+           << StrFormat(
+                  "property failed (master_seed=%llu iteration=%zu "
+                  "scale=%zu, shrunk from scale=%zu): ",
+                  (unsigned long long)cfg.master_seed, iter, failing_scale,
+                  cfg.max_scale)
+           << failing_diag;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace pso::proptest
+
+#endif  // PSO_TESTS_PROPTEST_H_

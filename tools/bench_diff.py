@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Regression gate over the deterministic bench counters.
+
+Every bench harness writes a BENCH_<name>.json report (schema_version 2,
+see EXPERIMENTS.md). The "metrics"/"counters" object is the deterministic
+section: same seed => identical values on every run and every machine, so
+it can be diffed exactly. This tool compares fresh reports against the
+committed baselines in bench/baselines/ and fails on any counter drift —
+an unexplained change in solver pivots, SAT decisions, or samples drawn
+is a behavior change, not noise.
+
+Counters under run-shaped prefixes (parallel.*, pool.* by default) and
+everything run-dependent (wall clock, timers, gauges, RSS, git_sha) are
+reported but never gate. Wall-clock deltas are printed for information
+only.
+
+Usage:
+  # gate (CI): compare build/bench/BENCH_*.json against bench/baselines/
+  tools/bench_diff.py --current-dir build/bench
+
+  # refresh baselines after an intentional behavior change:
+  tools/bench_diff.py --current-dir build/bench --update
+  git add bench/baselines/
+
+Baselines store only the stable fields (bench, experiment, filtered
+counters), so their git diffs show exactly the deterministic change and
+nothing else.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_SKIP_PREFIXES = ["parallel.", "pool."]
+SCHEMA_VERSION = 2
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r}, expected {SCHEMA_VERSION}"
+        )
+    return report
+
+
+def filtered_counters(report, skip_prefixes):
+    counters = report.get("metrics", {}).get("counters", {})
+    return {
+        name: value
+        for name, value in counters.items()
+        if not any(name.startswith(p) for p in skip_prefixes)
+    }
+
+
+def baseline_document(report, skip_prefixes):
+    """The stable subset of a report that gets committed as the baseline."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": report.get("bench", ""),
+        "experiment": report.get("experiment", ""),
+        "counters": filtered_counters(report, skip_prefixes),
+    }
+
+
+def diff_counters(baseline, current):
+    """Returns a list of human-readable drift lines (empty = clean)."""
+    lines = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            lines.append(f"counter removed: {name} (baseline {baseline[name]})")
+        elif name not in baseline:
+            lines.append(f"counter added: {name} = {current[name]}")
+        elif baseline[name] != current[name]:
+            lines.append(
+                f"counter changed: {name}: {baseline[name]} -> {current[name]}"
+            )
+    return lines
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--current-dir",
+        default="build/bench",
+        help="directory holding the fresh BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(__file__), "..", "bench", "baselines"),
+        help="directory holding the committed baselines",
+    )
+    parser.add_argument(
+        "--skip-prefix",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="counter prefixes to exclude from the gate "
+        f"(default: {' '.join(DEFAULT_SKIP_PREFIXES)})",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baselines from the current reports instead of gating",
+    )
+    args = parser.parse_args()
+
+    skip_prefixes = (
+        args.skip_prefix if args.skip_prefix is not None else DEFAULT_SKIP_PREFIXES
+    )
+    baseline_dir = os.path.normpath(args.baseline_dir)
+
+    report_names = sorted(
+        f
+        for f in os.listdir(args.current_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not report_names:
+        print(f"error: no BENCH_*.json reports in {args.current_dir}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        os.makedirs(baseline_dir, exist_ok=True)
+        for name in report_names:
+            report = load_report(os.path.join(args.current_dir, name))
+            out_path = os.path.join(baseline_dir, name)
+            with open(out_path, "w", encoding="utf-8") as f:
+                json.dump(baseline_document(report, skip_prefixes), f, indent=2)
+                f.write("\n")
+            print(f"baseline updated: {out_path}")
+        return 0
+
+    failures = 0
+    for name in report_names:
+        report = load_report(os.path.join(args.current_dir, name))
+        bench = report.get("bench", name)
+        baseline_path = os.path.join(baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"FAIL {bench}: no baseline at {baseline_path}")
+            print("     run tools/bench_diff.py --update and commit the result")
+            failures += 1
+            continue
+        baseline = load_report(baseline_path)
+
+        problems = diff_counters(
+            baseline.get("counters", {}), filtered_counters(report, skip_prefixes)
+        )
+        if report.get("checks_failed", 0):
+            problems.append(f"{report['checks_failed']} shape check(s) failed")
+        if baseline.get("experiment") != report.get("experiment"):
+            problems.append(
+                f"experiment renamed: {baseline.get('experiment')!r} -> "
+                f"{report.get('experiment')!r} (refresh the baseline)"
+            )
+
+        wall = report.get("wall_clock_seconds", 0.0)
+        if problems:
+            print(f"FAIL {bench} (wall {wall:.2f}s, informational):")
+            for p in problems:
+                print(f"     {p}")
+            failures += 1
+        else:
+            n = len(filtered_counters(report, skip_prefixes))
+            print(f"OK   {bench}: {n} counters match (wall {wall:.2f}s)")
+
+    skipped = ", ".join(skip_prefixes) or "none"
+    print(
+        f"\n{len(report_names) - failures}/{len(report_names)} benches clean "
+        f"(skipped prefixes: {skipped}; wall clock never gates)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
