@@ -30,7 +30,7 @@ struct SatReconstruction {
 
 /// Encodes `tables` as CNF and runs the DPLL solver. `max_decisions`
 /// bounds the search (0 = unlimited); exceeding it returns kInternal.
-Result<SatReconstruction> ReconstructBlockSat(const BlockTables& tables,
+[[nodiscard]] Result<SatReconstruction> ReconstructBlockSat(const BlockTables& tables,
                                               size_t max_decisions = 0);
 
 }  // namespace pso::census

@@ -5,10 +5,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 
 #include "common/metrics.h"  // JsonEscape
+#include "common/mutex.h"
 #include "common/str_util.h"
+#include "common/thread_annotations.h"
 
 namespace pso::log {
 
@@ -19,28 +20,103 @@ std::atomic<bool> g_deterministic{false};
 std::atomic<bool> g_initialized{false};
 
 // Sink + deterministic buffer state, guarded by one mutex: logging is a
-// diagnostics path, not a throughput path.
-struct SinkState {
-  std::FILE* file = nullptr;  // null => stderr
-  bool owns_file = false;
-  bool capture = false;
-  std::string captured;
+// diagnostics path, not a throughput path. A class (not loose statics)
+// so every member carries PSO_GUARDED_BY and the thread-safety analysis
+// checks each access against mu_.
+class SinkCore {
+ public:
+  /// The never-destroyed singleton (log statements may run from static
+  /// destructors; heap allocation sidesteps destruction-order issues).
+  static SinkCore& Get() {
+    static SinkCore* s = new SinkCore();
+    return *s;
+  }
+
+  bool SetFile(const std::string& path) PSO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (owns_file_ && file_ != nullptr) std::fclose(file_);
+    file_ = nullptr;
+    owns_file_ = false;
+    if (!path.empty()) {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open log sink '%s'\n", path.c_str());
+        return false;
+      }
+      file_ = f;
+      owns_file_ = true;
+    }
+    return true;
+  }
+
+  void SetCapture(bool on) PSO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    capture_ = on;
+    if (!on) captured_.clear();
+  }
+
+  std::string TakeCaptured() PSO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    std::string out = std::move(captured_);
+    captured_.clear();
+    return out;
+  }
+
+  /// Writes one already-rendered line straight to the sink.
+  void Emit(const std::string& line) PSO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    WriteLineLocked(line);
+  }
+
+  /// Queues a deterministic-mode line under its rank key.
+  void Buffer(std::vector<uint64_t> key, std::string line) PSO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    buffer_.push_back({std::move(key), std::move(line)});
+  }
+
+  /// Sorts and writes everything queued by Buffer().
+  void Flush() PSO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    FlushLocked();
+  }
+
+ private:
+  SinkCore() = default;
+
+  void WriteLineLocked(const std::string& line) PSO_REQUIRES(mu_) {
+    if (capture_) {
+      captured_ += line;
+      captured_ += '\n';
+      return;
+    }
+    std::FILE* f = file_ != nullptr ? file_ : stderr;
+    std::fputs(line.c_str(), f);
+    std::fputc('\n', f);
+    std::fflush(f);
+  }
+
+  void FlushLocked() PSO_REQUIRES(mu_) {
+    std::stable_sort(buffer_.begin(), buffer_.end(),
+                     [](const Buffered& a, const Buffered& b) {
+                       return a.key < b.key;
+                     });
+    for (const auto& m : buffer_) WriteLineLocked(m.line);
+    buffer_.clear();
+  }
+
   struct Buffered {
     std::vector<uint64_t> key;
     std::string line;
   };
-  std::vector<Buffered> buffer;  // deterministic-mode messages
+
+  Mutex mu_;
+  std::FILE* file_ PSO_GUARDED_BY(mu_) = nullptr;  // null => stderr
+  bool owns_file_ PSO_GUARDED_BY(mu_) = false;
+  bool capture_ PSO_GUARDED_BY(mu_) = false;
+  std::string captured_ PSO_GUARDED_BY(mu_);
+  /// Deterministic-mode messages awaiting rank-ordered flush.
+  std::vector<Buffered> buffer_ PSO_GUARDED_BY(mu_);
 };
-
-std::mutex& Mu() {
-  static std::mutex* mu = new std::mutex();
-  return *mu;
-}
-
-SinkState& Sink() {
-  static SinkState* s = new SinkState();  // never destroyed
-  return *s;
-}
 
 // Logger time origin: first use of Now().
 uint64_t NowMicros() {
@@ -80,29 +156,6 @@ std::vector<uint64_t> NextKey() {
   std::vector<uint64_t> key = r.prefix;
   key.push_back(r.seq++);
   return key;
-}
-
-// Writes one already-rendered line to the active sink. Caller holds Mu().
-void WriteLineLocked(const std::string& line) {
-  SinkState& s = Sink();
-  if (s.capture) {
-    s.captured += line;
-    s.captured += '\n';
-    return;
-  }
-  std::FILE* f = s.file != nullptr ? s.file : stderr;
-  std::fputs(line.c_str(), f);
-  std::fputc('\n', f);
-  std::fflush(f);
-}
-
-void FlushLocked() {
-  SinkState& s = Sink();
-  std::stable_sort(s.buffer.begin(), s.buffer.end(),
-                   [](const SinkState::Buffered& a,
-                      const SinkState::Buffered& b) { return a.key < b.key; });
-  for (const auto& m : s.buffer) WriteLineLocked(m.line);
-  s.buffer.clear();
 }
 
 const char* Basename(const char* path) {
@@ -146,44 +199,20 @@ const char* LevelName(Level level) {
 }
 
 bool SetFileSink(const std::string& path) {
-  std::lock_guard<std::mutex> lock(Mu());
-  SinkState& s = Sink();
-  if (s.owns_file && s.file != nullptr) std::fclose(s.file);
-  s.file = nullptr;
-  s.owns_file = false;
-  if (!path.empty()) {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open log sink '%s'\n", path.c_str());
-      return false;
-    }
-    s.file = f;
-    s.owns_file = true;
-  }
+  bool ok = SinkCore::Get().SetFile(path);
   g_initialized.store(true, std::memory_order_relaxed);
-  return true;
+  return ok;
 }
 
 void CaptureToString(bool on) {
-  std::lock_guard<std::mutex> lock(Mu());
-  SinkState& s = Sink();
-  s.capture = on;
-  if (!on) s.captured.clear();
+  SinkCore::Get().SetCapture(on);
   g_initialized.store(true, std::memory_order_relaxed);
 }
 
-std::string TakeCaptured() {
-  std::lock_guard<std::mutex> lock(Mu());
-  std::string out = std::move(Sink().captured);
-  Sink().captured.clear();
-  return out;
-}
+std::string TakeCaptured() { return SinkCore::Get().TakeCaptured(); }
 
 void SetDeterministic(bool on) {
-  {
-    std::lock_guard<std::mutex> lock(Mu());
-    if (!on) FlushLocked();
-  }
+  if (!on) SinkCore::Get().Flush();
   g_deterministic.store(on, std::memory_order_relaxed);
   g_initialized.store(true, std::memory_order_relaxed);
 }
@@ -192,10 +221,7 @@ bool DeterministicMode() {
   return g_deterministic.load(std::memory_order_relaxed);
 }
 
-void Flush() {
-  std::lock_guard<std::mutex> lock(Mu());
-  FlushLocked();
-}
+void Flush() { SinkCore::Get().Flush(); }
 
 bool Initialized() {
   return g_initialized.load(std::memory_order_relaxed);
@@ -299,13 +325,10 @@ LogMessage::~LogMessage() {
   line += "}";
 
   if (deterministic) {
-    std::vector<uint64_t> key = NextKey();
-    std::lock_guard<std::mutex> lock(Mu());
-    Sink().buffer.push_back({std::move(key), std::move(line)});
+    SinkCore::Get().Buffer(NextKey(), std::move(line));
     return;
   }
-  std::lock_guard<std::mutex> lock(Mu());
-  WriteLineLocked(line);
+  SinkCore::Get().Emit(line);
 }
 
 }  // namespace pso::log

@@ -27,8 +27,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pso::metrics {
 
@@ -100,33 +102,36 @@ class Registry {
 
   /// Returns the counter/timer registered under `name`, creating it on
   /// first use. The reference stays valid for the registry's lifetime.
-  Counter& GetCounter(const std::string& name);
-  Timer& GetTimer(const std::string& name);
+  Counter& GetCounter(const std::string& name) PSO_EXCLUDES(mu_);
+  Timer& GetTimer(const std::string& name) PSO_EXCLUDES(mu_);
 
   /// Sets (overwrites) a point-in-time observation.
-  void SetGauge(const std::string& name, double value);
+  void SetGauge(const std::string& name, double value) PSO_EXCLUDES(mu_);
 
   /// Copies every metric's current value. Safe to call concurrently with
   /// updates; each value is read atomically (the snapshot as a whole is
   /// not a consistent cut, which is fine for monotone counters).
-  Snapshot TakeSnapshot() const;
+  Snapshot TakeSnapshot() const PSO_EXCLUDES(mu_);
 
   /// Adds `snap`'s counters and timers into this registry and overwrites
   /// its gauges — the merge step for worker-local registries. Merging is
   /// associative and commutative over counters/timers, so merge order
   /// cannot change totals.
-  void MergeFrom(const Snapshot& snap);
+  void MergeFrom(const Snapshot& snap) PSO_EXCLUDES(mu_);
 
   /// Zeroes every counter and timer and drops all gauges. Handles remain
   /// valid. Intended for tests and for psoctl between subcommands.
-  void ResetAll();
+  void ResetAll() PSO_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // unique_ptr gives handles stable addresses across map rehash/insert.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Timer>> timers_;
-  std::map<std::string, double> gauges_;
+  // The maps are guarded; the Counter/Timer objects they point to are
+  // internally atomic and deliberately updated lock-free.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PSO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Timer>> timers_ PSO_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ PSO_GUARDED_BY(mu_);
 };
 
 /// Shorthands for the global registry.

@@ -23,14 +23,15 @@
 #define PSO_COMMON_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pso {
 
@@ -51,7 +52,7 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
   /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PSO_EXCLUDES(mu_);
 
   /// Tasks each worker has executed so far, indexed by worker. Which
   /// worker dequeues a given task is scheduler-dependent, so these are
@@ -63,12 +64,12 @@ class ThreadPool {
   static size_t HardwareThreads();
 
  private:
-  void WorkerLoop(size_t worker_index);
+  void WorkerLoop(size_t worker_index) PSO_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ PSO_GUARDED_BY(mu_);
+  bool shutdown_ PSO_GUARDED_BY(mu_) = false;
   std::vector<std::atomic<uint64_t>> task_counts_;  // sized in constructor
   std::vector<std::thread> threads_;
 };

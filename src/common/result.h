@@ -15,8 +15,11 @@ namespace pso {
 ///
 /// Accessing the value of a failed Result is a contract violation and
 /// aborts; callers must test `ok()` first or propagate the status.
+///
+/// [[nodiscard]] like Status: a dropped Result silently discards both
+/// the computed value and the error explaining why there isn't one.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`. Intentionally implicit
   /// so functions can `return value;`.

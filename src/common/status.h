@@ -30,7 +30,11 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy for the
 /// OK case (empty message).
-class Status {
+///
+/// Class-level [[nodiscard]]: silently dropping a returned Status hides
+/// the failure it reports, so every by-value return must be consumed
+/// (checked, propagated, or explicitly cast to void with a comment).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -45,29 +49,29 @@ class Status {
   Status& operator=(Status&&) = default;
 
   /// Factory helpers for the common error categories.
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Infeasible(std::string msg) {
+  [[nodiscard]] static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
   }
-  static Status Unbounded(std::string msg) {
+  [[nodiscard]] static Status Unbounded(std::string msg) {
     return Status(StatusCode::kUnbounded, std::move(msg));
   }
 

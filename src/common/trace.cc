@@ -55,7 +55,7 @@ Collector& Collector::Global() {
 }
 
 void Collector::Enable(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
   capacity_ = capacity == 0 ? 1 : capacity;
@@ -68,19 +68,19 @@ void Collector::Disable() {
 }
 
 void Collector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
   epoch_ns_ = SteadyNowNs();
 }
 
 uint64_t Collector::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 std::vector<Event> Collector::TakeEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
@@ -88,7 +88,7 @@ uint64_t Collector::NowNs() const {
   if (!enabled()) return 0;
   uint64_t epoch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     epoch = epoch_ns_;
   }
   uint64_t now = SteadyNowNs();
@@ -96,7 +96,7 @@ uint64_t Collector::NowNs() const {
 }
 
 void Collector::Record(Event event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -109,7 +109,7 @@ uint64_t Collector::NextSpanId() {
 }
 
 void Collector::SetFlushPath(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   flush_path_ = path;
 }
 
@@ -117,7 +117,7 @@ void Collector::FlushToConfiguredPath() const {
   std::string path;
   bool have_events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     path = flush_path_;
     have_events = !events_.empty();
   }

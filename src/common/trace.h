@@ -33,10 +33,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pso::trace {
 
@@ -110,45 +112,45 @@ class Collector {
   /// Clears any previous events, re-anchors the time origin, and starts
   /// collecting. At most `capacity` events are kept; later events are
   /// dropped and counted.
-  void Enable(size_t capacity = kDefaultCapacity);
+  void Enable(size_t capacity = kDefaultCapacity) PSO_EXCLUDES(mu_);
   void Disable();
   bool enabled() const {
     return enabled_.load(std::memory_order_relaxed);
   }
 
   /// Drops all recorded events (collection state unchanged).
-  void Clear();
+  void Clear() PSO_EXCLUDES(mu_);
 
   /// Events dropped because the buffer was full.
-  uint64_t dropped() const;
+  uint64_t dropped() const PSO_EXCLUDES(mu_);
 
   /// Copy of every recorded event, in record order.
-  std::vector<Event> TakeEvents() const;
+  std::vector<Event> TakeEvents() const PSO_EXCLUDES(mu_);
 
   /// Renders all events as a Chrome trace-event JSON document.
-  std::string ChromeJson() const;
+  std::string ChromeJson() const PSO_EXCLUDES(mu_);
 
   /// Renders the deterministic text tree (see file comment).
-  std::string TextTree() const;
+  std::string TextTree() const PSO_EXCLUDES(mu_);
 
   /// Writes ChromeJson() to `path`; false (with a stderr diagnostic) on
   /// I/O failure.
-  bool WriteChromeJson(const std::string& path) const;
+  bool WriteChromeJson(const std::string& path) const PSO_EXCLUDES(mu_);
 
   /// Remembers `path` so an aborting PSO_CHECK can flush a partial trace
   /// there (see check.h). Empty clears.
-  void SetFlushPath(const std::string& path);
+  void SetFlushPath(const std::string& path) PSO_EXCLUDES(mu_);
 
   /// Writes the trace to the SetFlushPath() destination, if one is set
   /// and any events were recorded. Called from the PSO_CHECK failure
   /// handler; best-effort.
-  void FlushToConfiguredPath() const;
+  void FlushToConfiguredPath() const PSO_EXCLUDES(mu_);
 
   /// Monotonic nanoseconds since Enable() (0 when disabled).
-  uint64_t NowNs() const;
+  uint64_t NowNs() const PSO_EXCLUDES(mu_);
 
   // Internals used by Span/Instant/CounterSample.
-  void Record(Event event);
+  void Record(Event event) PSO_EXCLUDES(mu_);
   uint64_t NextSpanId();
 
  private:
@@ -156,12 +158,13 @@ class Collector {
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_span_id_{1};
-  mutable std::mutex mu_;
-  size_t capacity_ = kDefaultCapacity;  // guarded by mu_
-  uint64_t dropped_ = 0;                // guarded by mu_
-  std::vector<Event> events_;           // guarded by mu_
-  std::string flush_path_;              // guarded by mu_
-  uint64_t epoch_ns_ = 0;               // steady_clock anchor, set by Enable
+  mutable Mutex mu_;
+  size_t capacity_ PSO_GUARDED_BY(mu_) = kDefaultCapacity;
+  uint64_t dropped_ PSO_GUARDED_BY(mu_) = 0;
+  std::vector<Event> events_ PSO_GUARDED_BY(mu_);
+  std::string flush_path_ PSO_GUARDED_BY(mu_);
+  /// steady_clock anchor, set by Enable.
+  uint64_t epoch_ns_ PSO_GUARDED_BY(mu_) = 0;
 };
 
 /// True when the global collector is recording. The one branch

@@ -19,13 +19,13 @@ std::string DatasetToCsv(const Dataset& dataset);
 /// quoted cells, e.g. embedded commas) fails with InvalidArgument rather
 /// than mis-splitting. Also fails on unknown columns, missing columns, or
 /// out-of-domain values.
-Result<Dataset> DatasetFromCsv(const Schema& schema, const std::string& csv);
+[[nodiscard]] Result<Dataset> DatasetFromCsv(const Schema& schema, const std::string& csv);
 
 /// Writes `dataset` to `path`.
-Status WriteCsvFile(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status WriteCsvFile(const Dataset& dataset, const std::string& path);
 
 /// Reads a dataset from the CSV file at `path`.
-Result<Dataset> ReadCsvFile(const Schema& schema, const std::string& path);
+[[nodiscard]] Result<Dataset> ReadCsvFile(const Schema& schema, const std::string& path);
 
 }  // namespace pso
 

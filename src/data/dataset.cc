@@ -1,6 +1,8 @@
 #include "data/dataset.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
@@ -68,9 +70,25 @@ std::vector<std::vector<size_t>> Dataset::GroupIdentical() const {
   for (size_t i = 0; i < records_.size(); ++i) {
     buckets[schema_.RecordKey(records_[i])].push_back(i);
   }
+  // Drain buckets in first-row order, not hash-iteration order: the
+  // group sequence feeds reconstruction/linkage output, so it must be a
+  // pure function of the records (pso_lint rule `unordered-iteration`).
+  std::vector<uint64_t> keys_by_first_row;
+  keys_by_first_row.reserve(buckets.size());
+  {
+    std::vector<std::pair<size_t, uint64_t>> order;
+    order.reserve(buckets.size());
+    for (auto& [key, rows] : buckets) {  // pso-lint: allow(unordered-iteration)
+      order.emplace_back(rows.front(), key);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [row, key] : order) keys_by_first_row.push_back(key);
+  }
+
   std::vector<std::vector<size_t>> groups;
   groups.reserve(buckets.size());
-  for (auto& [key, rows] : buckets) {
+  for (uint64_t key : keys_by_first_row) {
+    std::vector<size_t>& rows = buckets[key];
     // Hash buckets may (very rarely) merge distinct records; split exactly.
     while (!rows.empty()) {
       std::vector<size_t> group;

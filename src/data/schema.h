@@ -55,7 +55,7 @@ class Attribute {
   std::string ValueToString(int64_t code) const;
 
   /// Inverse of ValueToString for categorical labels / integer parsing.
-  Result<int64_t> ValueFromString(const std::string& text) const;
+  [[nodiscard]] Result<int64_t> ValueFromString(const std::string& text) const;
 
   /// Labels (empty for integer attributes).
   const std::vector<std::string>& labels() const { return labels_; }
@@ -83,7 +83,7 @@ class Schema {
   const std::vector<Attribute>& attributes() const { return attributes_; }
 
   /// Index of the attribute named `name`, or NotFound.
-  Result<size_t> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<size_t> IndexOf(const std::string& name) const;
 
   /// True if `record` has the right arity and every value is in-domain.
   bool IsValidRecord(const Record& record) const;

@@ -28,7 +28,7 @@ struct DataflyOptions {
 /// Runs Datafly on `data`. Non-QI attributes are kept exact (sensitive
 /// attributes in the k-anonymity literature are not generalized).
 /// Suppressed rows get full-domain cells on every attribute.
-Result<AnonymizationResult> DataflyAnonymize(const Dataset& data,
+[[nodiscard]] Result<AnonymizationResult> DataflyAnonymize(const Dataset& data,
                                              const HierarchySet& hierarchies,
                                              const DataflyOptions& options);
 

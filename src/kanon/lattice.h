@@ -41,7 +41,7 @@ struct LatticeResult {
 /// (suppression-free). Returns kInfeasible when even the top of the
 /// lattice is not k-anonymous, kInternal when max_nodes is exhausted
 /// before any k-anonymous node is found.
-Result<LatticeResult> OptimalFullDomainAnonymize(
+[[nodiscard]] Result<LatticeResult> OptimalFullDomainAnonymize(
     const Dataset& data, const HierarchySet& hierarchies,
     const LatticeOptions& options);
 

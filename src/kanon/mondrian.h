@@ -36,7 +36,7 @@ struct MondrianOptions {
 };
 
 /// Runs Mondrian on `data`. Non-QI attributes are kept exact.
-Result<AnonymizationResult> MondrianAnonymize(const Dataset& data,
+[[nodiscard]] Result<AnonymizationResult> MondrianAnonymize(const Dataset& data,
                                               const HierarchySet& hierarchies,
                                               const MondrianOptions& options);
 

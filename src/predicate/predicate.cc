@@ -83,8 +83,13 @@ class AttributeInPredicate final : public Predicate {
   std::optional<double> ExactWeight(
       const ProductDistribution& dist) const override {
     if (attr_ >= dist.schema().NumAttributes()) return 0.0;
+    // Sum in sorted value order, not unordered_set iteration order:
+    // float addition is order-sensitive, and this weight feeds pinned
+    // regression numbers (pso_lint rule `unordered-iteration`).
+    std::vector<int64_t> sorted(values_.begin(), values_.end());
+    std::sort(sorted.begin(), sorted.end());
     double mass = 0.0;
-    for (int64_t v : values_) mass += dist.marginal(attr_).Probability(v);
+    for (int64_t v : sorted) mass += dist.marginal(attr_).Probability(v);
     return mass;
   }
 

@@ -46,7 +46,7 @@ Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha,
 /// subset queries (each index included w.p. 1/2), solves
 ///   min sum_j t_j  s.t.  |<q_j, x> - a_j| <= t_j,  x in [0,1]^n
 /// with the simplex solver, and rounds x at 1/2.
-Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
+[[nodiscard]] Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
                                      size_t num_queries, Rng& rng);
 
 /// Least-squares decoder: minimizes ||Qx - a||_2^2 over [0,1]^n by

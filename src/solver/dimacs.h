@@ -40,7 +40,7 @@ inline constexpr uint32_t kDimacsMaxVars = 1u << 20;
 inline constexpr size_t kDimacsMaxClauses = 1u << 22;
 
 /// Parses DIMACS CNF `text` (see file comment for the dialect).
-Result<DimacsCnf> ParseDimacsCnf(const std::string& text);
+[[nodiscard]] Result<DimacsCnf> ParseDimacsCnf(const std::string& text);
 
 /// Renders `cnf` back to DIMACS text (inverse of ParseDimacsCnf up to
 /// comments and whitespace).

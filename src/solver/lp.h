@@ -88,7 +88,7 @@ class LpProblem {
   /// feasible basis, kUnbounded if the objective improves without bound
   /// (our decoding LPs are always bounded, so callers may treat it as a
   /// modeling error), and kInternal on iteration-limit exhaustion.
-  Result<LpSolution> Solve() const;
+  [[nodiscard]] Result<LpSolution> Solve() const;
 
  private:
   struct Row {

@@ -60,10 +60,10 @@ struct LpInstance {
 std::string EncodeLpInstance(const LpInstance& instance);
 
 /// Parses and fully validates one encoded instance.
-Result<LpInstance> DecodeLpInstance(const uint8_t* data, size_t size);
+[[nodiscard]] Result<LpInstance> DecodeLpInstance(const uint8_t* data, size_t size);
 
 /// String-payload convenience overload.
-Result<LpInstance> DecodeLpInstance(const std::string& bytes);
+[[nodiscard]] Result<LpInstance> DecodeLpInstance(const std::string& bytes);
 
 }  // namespace pso
 

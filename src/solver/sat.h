@@ -113,7 +113,7 @@ class SatSolver {
 
   /// Runs DPLL. `max_decisions` bounds the search (0 = unlimited);
   /// exceeding it returns an Internal error.
-  Result<SatSolution> Solve(size_t max_decisions = 0);
+  [[nodiscard]] Result<SatSolution> Solve(size_t max_decisions = 0);
 
  private:
   enum class Assign : int8_t { kUnset = -1, kFalse = 0, kTrue = 1 };

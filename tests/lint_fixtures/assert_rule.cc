@@ -1,0 +1,22 @@
+// pso-lint-fixture-path: src/example/assert_rule.cc
+//
+// Fixture for the `assert` rule: assert() vanishes under NDEBUG, while
+// PSO_CHECK is always on and flushes logs/traces before aborting.
+#include <cassert>
+#include <cstdint>
+
+void Bad(int x) {
+  assert(x > 0);  // lint-expect: assert
+}
+
+void Suppressed(int x) {
+  assert(x > 0);  // pso-lint: allow(assert)
+}
+
+void Clean(int64_t x) {
+  // static_assert is a different beast (compile-time) and stays legal:
+  static_assert(sizeof(int64_t) == 8, "LP64 expected");
+  // gtest-style macros and identifiers containing "assert" never fire:
+  int assert_count = static_cast<int>(x);
+  (void)assert_count;
+}

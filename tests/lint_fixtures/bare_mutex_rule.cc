@@ -1,0 +1,31 @@
+// pso-lint-fixture-path: src/example/bare_mutex_rule.cc
+//
+// Fixture for the `bare-mutex` rule: raw standard-library threading
+// primitives carry no capability attributes, so clang -Wthread-safety
+// cannot check code that uses them. Outside src/common/ the annotated
+// pso wrappers are mandatory.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+std::mutex g_raw_mu;                   // lint-expect: bare-mutex
+std::condition_variable g_raw_cv;      // lint-expect: bare-mutex
+
+void Bad() {
+  std::lock_guard<std::mutex> lock(g_raw_mu);  // lint-expect: bare-mutex
+  std::thread t([] {});                        // lint-expect: bare-mutex
+  t.join();
+}
+
+void Suppressed() {
+  std::mutex local;  // pso-lint: allow(bare-mutex)
+  local.lock();
+  local.unlock();
+}
+
+unsigned Clean() {
+  // Mentions in comments (std::mutex, std::thread) never fire; nor do
+  // unrelated identifiers like mutex_count below.
+  unsigned mutex_count = 0;
+  return mutex_count;
+}

@@ -1,0 +1,46 @@
+// pso-lint-fixture-path: src/example/nodiscard_status_rule.h
+//
+// Fixture for the `nodiscard-status` rule: every header declaration
+// returning Status or Result<T> by value must be [[nodiscard]] so a
+// dropped error cannot pass silently.
+#ifndef PSO_EXAMPLE_NODISCARD_STATUS_RULE_H_
+#define PSO_EXAMPLE_NODISCARD_STATUS_RULE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pso::example {
+
+Status BadFreeFunction(const std::string& path);  // lint-expect: nodiscard-status
+
+Result<int> BadResultFunction();  // lint-expect: nodiscard-status
+
+class Widget {
+ public:
+  Status BadMethod();  // lint-expect: nodiscard-status
+
+  Status SuppressedMethod();  // pso-lint: allow(nodiscard-status)
+
+  [[nodiscard]] Status GoodMethod();
+
+  [[nodiscard]] static Status GoodStaticMethod(int arg);
+
+  [[nodiscard]] Result<double> GoodResultMethod() const;
+
+  /// By-reference returns are exempt: nothing new to discard.
+  const Status& build_status() const { return build_status_; }
+
+ private:
+  Status build_status_;  // member declaration, not a function: exempt
+};
+
+[[nodiscard]] inline Status GoodInlineFunction() {
+  // `return Status::...` expressions inside bodies never fire:
+  return Status::Ok();
+}
+
+}  // namespace pso::example
+
+#endif  // PSO_EXAMPLE_NODISCARD_STATUS_RULE_H_

@@ -1,0 +1,14 @@
+// pso-lint-fixture-path: src/common/scope_exemptions.cc
+//
+// Fixture for path scoping: src/common/ implements the annotated
+// wrappers, so `bare-mutex` does not apply there (this file declares a
+// raw std::mutex and expects NO finding). The determinism rules still
+// do apply: the rand() call below must fire even inside src/common/.
+#include <cstdlib>
+#include <mutex>
+
+std::mutex g_wrapper_internal_mu;  // no finding: src/common/ is exempt
+
+int StillChecked() {
+  return std::rand();  // lint-expect: rand
+}

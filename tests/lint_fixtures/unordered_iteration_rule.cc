@@ -1,0 +1,44 @@
+// pso-lint-fixture-path: src/example/unordered_iteration_rule.cc
+//
+// Fixture for the `unordered-iteration` rule: hash-iteration order is
+// not a pure function of the data, so range-for over an unordered
+// container feeds nondeterminism into whatever it builds.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double Bad(const std::unordered_set<int64_t>& ignored) {
+  std::unordered_map<int64_t, double> weights = {{1, 0.5}, {2, 0.25}};
+  std::unordered_set<int64_t> values = {1, 2, 3};
+  double sum = 0.0;
+  for (const auto& [k, w] : weights) {  // lint-expect: unordered-iteration
+    sum += w;
+  }
+  for (int64_t v : values) {  // lint-expect: unordered-iteration
+    sum += static_cast<double>(v);
+  }
+  (void)ignored;
+  return sum;
+}
+
+double Suppressed() {
+  std::unordered_map<int64_t, double> weights = {{1, 0.5}};
+  double sum = 0.0;
+  // Commutative integer accumulation is genuinely order-independent:
+  for (const auto& [k, w] : weights) {  // pso-lint: allow(unordered-iteration)
+    sum += w;
+  }
+  return sum;
+}
+
+std::vector<int64_t> Clean() {
+  std::unordered_set<int64_t> values = {3, 1, 2};
+  // The sanctioned pattern: copy out, sort, iterate the sorted form.
+  std::vector<int64_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int64_t> out;
+  for (int64_t v : sorted) out.push_back(v);
+  return out;
+}

@@ -1,0 +1,27 @@
+// pso-lint-fixture-path: src/example/wall_clock_rule.cc
+//
+// Fixture for the `wall-clock` rule: calendar time leaks run-dependent
+// values into library output. steady_clock (monotonic durations) is fine.
+#include <chrono>
+#include <ctime>
+
+long Bad() {
+  std::time_t t = time(nullptr);                     // lint-expect: wall-clock
+  long c = clock();                                  // lint-expect: wall-clock
+  auto now = std::chrono::system_clock::now();       // lint-expect: wall-clock
+  return static_cast<long>(t) + c + now.time_since_epoch().count();
+}
+
+long Suppressed() {
+  return static_cast<long>(time(nullptr));  // pso-lint: allow(wall-clock)
+}
+
+long Clean() {
+  // Monotonic clocks are the sanctioned way to measure durations:
+  auto a = std::chrono::steady_clock::now();
+  auto b = std::chrono::steady_clock::now();
+  // Identifiers containing "time"/"clock" as substrings never fire:
+  long wall_time(long);
+  long my_clock_skew = 0;
+  return (b - a).count() + wall_time(my_clock_skew);
+}

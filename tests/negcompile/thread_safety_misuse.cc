@@ -1,0 +1,44 @@
+// Negative-compile proof that the thread-safety gate works: this file
+// reads and writes a PSO_GUARDED_BY member without holding its mutex,
+// so `clang -Wthread-safety -Werror` MUST refuse to compile it.
+// tools/negcompile_test.py drives both directions:
+//
+//   plain compile                       -> must FAIL with a
+//                                          -Wthread-safety diagnostic
+//   -DPSO_NEGCOMPILE_FIXED              -> must SUCCEED (control: proves
+//                                          the file is otherwise valid
+//                                          and only the locking is bad)
+//
+// Under GCC the annotations are no-ops and the test self-skips.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+#ifdef PSO_NEGCOMPILE_FIXED
+    pso::MutexLock lock(mu_);
+#endif
+    balance_ += amount;  // unguarded access: the analysis must reject this
+  }
+
+  int balance() const {
+    pso::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable pso::Mutex mu_;
+  int balance_ PSO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

@@ -25,6 +25,11 @@ Usage:
 Baselines store only the stable fields (bench, experiment, filtered
 counters), so their git diffs show exactly the deterministic change and
 nothing else.
+
+Exit codes: 0 all benches clean, 1 counter drift / failed shape checks,
+2 usage error (no reports found), 3 one or more baselines missing
+entirely (a new bench whose baseline was never committed — run with
+--update, not a regression).
 """
 
 import argparse
@@ -136,14 +141,17 @@ def main():
         return 0
 
     failures = 0
+    missing = 0
     for name in report_names:
         report = load_report(os.path.join(args.current_dir, name))
         bench = report.get("bench", name)
         baseline_path = os.path.join(baseline_dir, name)
         if not os.path.exists(baseline_path):
-            print(f"FAIL {bench}: no baseline at {baseline_path}")
+            # Distinct from FAIL: a missing baseline is a setup problem
+            # (new bench, baseline never committed), not counter drift.
+            print(f"MISSING {bench}: no baseline at {baseline_path}")
             print("     run tools/bench_diff.py --update and commit the result")
-            failures += 1
+            missing += 1
             continue
         baseline = load_report(baseline_path)
 
@@ -169,10 +177,17 @@ def main():
             print(f"OK   {bench}: {n} counters match (wall {wall:.2f}s)")
 
     skipped = ", ".join(skip_prefixes) or "none"
+    clean = len(report_names) - failures - missing
     print(
-        f"\n{len(report_names) - failures}/{len(report_names)} benches clean "
+        f"\n{clean}/{len(report_names)} benches clean "
         f"(skipped prefixes: {skipped}; wall clock never gates)"
     )
+    if missing:
+        print(
+            f"{missing} baseline(s) MISSING — not a counter regression; "
+            "run tools/bench_diff.py --update and commit bench/baselines/"
+        )
+        return 3
     return 1 if failures else 0
 
 

@@ -75,7 +75,9 @@ class Flags {
   size_t GetThreads(const std::string& key = "threads") const {
     int64_t v = GetInt(key, 0);
     if (v > 0) return static_cast<size_t>(v);
-    unsigned hc = std::thread::hardware_concurrency();
+    // Capability query only, no thread is created; this header must stay
+    // free of pso_common so flags_test can build standalone.
+    unsigned hc = std::thread::hardware_concurrency();  // pso-lint: allow(bare-mutex)
     return hc == 0 ? 1 : static_cast<size_t>(hc);
   }
 
