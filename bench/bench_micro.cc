@@ -73,6 +73,61 @@ void BM_LpDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_LpDecode)->Arg(24)->Arg(48);
 
+// Decoder-shaped L1-fit LP (n box variables, 5n equality rows with u/v
+// residual splits) built once and solved per iteration.
+LpProblem BuildL1FitLp(size_t n, uint64_t seed) {
+  const size_t q = 5 * n;
+  Rng rng(seed);
+  LpProblem lp;
+  std::vector<size_t> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = lp.AddVariable(0.0, 1.0, 0.0);
+  for (size_t j = 0; j < q; ++j) {
+    size_t u = lp.AddVariable(0.0, LpProblem::kInfinity, 1.0);
+    size_t v = lp.AddVariable(0.0, LpProblem::kInfinity, 1.0);
+    std::vector<std::pair<size_t, double>> row;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) row.emplace_back(x[i], 1.0);
+    }
+    row.emplace_back(u, 1.0);
+    row.emplace_back(v, -1.0);
+    lp.AddConstraint(row, Relation::kEqual,
+                     static_cast<double>(rng.UniformInt(0, (int64_t)n / 2)));
+  }
+  return lp;
+}
+
+// Head-to-head number behind --lp-backend: the same LP solved cold by
+// the named backend.
+void BM_LpSolveBackend(benchmark::State& state, const char* backend_name) {
+  LpProblem lp = BuildL1FitLp(static_cast<size_t>(state.range(0)), 6);
+  Result<std::unique_ptr<LpBackend>> backend = MakeLpBackend(backend_name);
+  for (auto _ : state) {
+    auto sol = lp.SolveWith(**backend, LpSolveOptions{});
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK_CAPTURE(BM_LpSolveBackend, dense, "dense")->Arg(24)->Arg(48);
+BENCHMARK_CAPTURE(BM_LpSolveBackend, sparse, "sparse")->Arg(24)->Arg(48);
+
+// Warm restart of an already-optimal basis: the floor of a warm-started
+// re-solve (factorize + price, zero pivots).
+void BM_LpSolveSparseWarm(benchmark::State& state) {
+  LpProblem lp = BuildL1FitLp(static_cast<size_t>(state.range(0)), 6);
+  Result<std::unique_ptr<LpBackend>> backend = MakeLpBackend("sparse");
+  LpBasis basis;
+  LpSolveOptions seed_options;
+  seed_options.final_basis = &basis;
+  auto seed_solve = lp.SolveWith(**backend, seed_options);
+  benchmark::DoNotOptimize(seed_solve);
+  LpSolveOptions warm;
+  warm.warm_start = &basis;
+  for (auto _ : state) {
+    auto sol = lp.SolveWith(**backend, warm);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_LpSolveSparseWarm)->Arg(24)->Arg(48);
+
 void BM_AdaptiveCountAttack(benchmark::State& state) {
   Universe u = MakeGicMedicalUniverse(100);
   Rng rng(5);
@@ -117,12 +172,14 @@ int main(int argc, char** argv) {
   kept.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--json" || arg == "--trace" || arg == "--log-level") {
+    if (arg == "--json" || arg == "--trace" || arg == "--log-level" ||
+        arg == "--lp-backend") {
       if (i + 1 < argc) ++i;  // skip the path operand
       continue;
     }
     if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0 ||
-        arg.rfind("--log-level=", 0) == 0) {
+        arg.rfind("--log-level=", 0) == 0 ||
+        arg.rfind("--lp-backend=", 0) == 0) {
       continue;
     }
     kept.push_back(argv[i]);

@@ -28,6 +28,7 @@
 #include "common/parallel.h"
 #include "common/str_util.h"
 #include "common/trace.h"
+#include "solver/lp_backend.h"
 #include "tools/flags.h"
 
 namespace pso::bench {
@@ -145,14 +146,15 @@ struct BenchContext {
   std::string json_path;   ///< Empty when --json was not given.
   std::string trace_path;  ///< Empty when --trace was not given.
   size_t threads = 1;      ///< Resolved --threads value.
+  std::string lp_backend;  ///< Resolved --lp-backend (process default).
   WallTimer timer;         ///< Wall clock for the whole run.
 };
 
 /// Parses the standard harness flags (--json <path>, --threads N,
-/// --trace <path>, --log-level {debug,info,warn,error}), starts the run
-/// stopwatch, and — when --trace was given — enables the global trace
-/// collector. Unknown or malformed flags print usage to stderr and exit
-/// non-zero.
+/// --trace <path>, --log-level {debug,info,warn,error},
+/// --lp-backend {dense,sparse}), starts the run stopwatch, and — when
+/// --trace was given — enables the global trace collector. Unknown or
+/// malformed flags print usage to stderr and exit non-zero.
 inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
                                      char** argv) {
   tools::Flags flags(argc, argv);
@@ -161,6 +163,7 @@ inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
       {"threads", tools::FlagSpec::Type::kInt},
       {"trace", tools::FlagSpec::Type::kString},
       {"log-level", tools::FlagSpec::Type::kString},
+      {"lp-backend", tools::FlagSpec::Type::kString},
   };
   std::vector<std::string> errors;
   tools::ValidateFlags(flags, specs, &errors);
@@ -177,9 +180,19 @@ inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
     }
     std::fprintf(stderr,
                  "usage: %s [--json FILE] [--threads N] [--trace FILE] "
-                 "[--log-level debug|info|warn|error]\n",
+                 "[--log-level debug|info|warn|error] "
+                 "[--lp-backend dense|sparse]\n",
                  bench_name.c_str());
     std::exit(2);
+  }
+  const std::string backend = flags.GetString("lp-backend", "");
+  if (!backend.empty()) {
+    Status set = SetDefaultLpBackend(backend);
+    if (!set.ok()) {
+      std::fprintf(stderr, "%s: %s\n", bench_name.c_str(),
+                   set.ToString().c_str());
+      std::exit(2);
+    }
   }
   const std::string level_name = flags.GetString("log-level", "");
   if (!level_name.empty()) {
@@ -198,6 +211,7 @@ inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
   ctx.json_path = flags.GetString("json", "");
   ctx.trace_path = flags.GetString("trace", "");
   ctx.threads = flags.GetThreads();
+  ctx.lp_backend = DefaultLpBackendName();
   if (!ctx.trace_path.empty()) {
     trace::Collector::Global().Enable();
     // Remembered so an aborting PSO_CHECK still flushes a partial trace.

@@ -133,6 +133,12 @@ Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha,
 
 Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
                                      size_t num_queries, Rng& rng) {
+  return LpReconstruct(oracle, num_queries, rng, LpDecodeOptions{});
+}
+
+Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
+                                     size_t num_queries, Rng& rng,
+                                     const LpDecodeOptions& options) {
   const size_t n = oracle.n();
   metrics::GetCounter("recon.lp_decodes").Add(1);
   metrics::GetCounter("recon.queries").Add(num_queries);
@@ -162,7 +168,16 @@ Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
     lp.AddConstraint(row, Relation::kEqual, qs.answers[j]);
   }
 
-  Result<LpSolution> solved = lp.Solve();
+  const std::string backend_name =
+      options.backend.empty() ? DefaultLpBackendName() : options.backend;
+  Result<std::unique_ptr<LpBackend>> backend = MakeLpBackend(backend_name);
+  if (!backend.ok()) return backend.status();
+  LpSolveOptions solve_options;
+  if (options.basis != nullptr) {
+    if (!options.basis->empty()) solve_options.warm_start = options.basis;
+    solve_options.final_basis = options.basis;
+  }
+  Result<LpSolution> solved = lp.SolveWith(**backend, solve_options);
   if (!solved.ok()) return solved.status();
 
   Reconstruction out;

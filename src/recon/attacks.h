@@ -13,6 +13,7 @@
 #ifndef PSO_RECON_ATTACKS_H_
 #define PSO_RECON_ATTACKS_H_
 
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +22,7 @@
 
 namespace pso {
 class ThreadPool;
+struct LpBasis;
 }
 
 namespace pso::recon {
@@ -42,12 +44,32 @@ struct Reconstruction {
 Reconstruction ExhaustiveReconstruct(SubsetSumOracle& oracle, double alpha,
                                      ThreadPool* pool = nullptr);
 
+/// Tuning knobs for LpReconstruct. Defaults reproduce the plain call:
+/// the process-default LP backend, cold-started.
+struct LpDecodeOptions {
+  /// Backend registry name ("dense", "sparse", ...); empty uses the
+  /// process default (DefaultLpBackendName / --lp-backend).
+  std::string backend;
+  /// Borrowed basis slot threaded across repeated decodes. When non-null:
+  /// a non-empty basis warm-starts the solve (decode LPs of one
+  /// experiment share n and query count, hence shape), and the final
+  /// basis is written back after an optimal solve. The caller owns the
+  /// LpBasis and resets it when the LP shape changes.
+  LpBasis* basis = nullptr;
+};
+
 /// Theorem 1.1(ii) by LP decoding. Issues `num_queries` uniformly random
 /// subset queries (each index included w.p. 1/2), solves
 ///   min sum_j t_j  s.t.  |<q_j, x> - a_j| <= t_j,  x in [0,1]^n
 /// with the simplex solver, and rounds x at 1/2.
 [[nodiscard]] Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
                                      size_t num_queries, Rng& rng);
+
+/// As above with an explicit backend choice and optional warm-start basis
+/// carried across calls (see LpDecodeOptions).
+[[nodiscard]] Result<Reconstruction> LpReconstruct(
+    SubsetSumOracle& oracle, size_t num_queries, Rng& rng,
+    const LpDecodeOptions& options);
 
 /// Least-squares decoder: minimizes ||Qx - a||_2^2 over [0,1]^n by
 /// projected gradient (step from a power-iteration bound on ||Q||^2),

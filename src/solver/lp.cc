@@ -2,156 +2,11 @@
 
 #include <cmath>
 #include <memory>
-#include <string>
 
-#include "common/check.h"
-#include "common/log.h"
-#include "common/metrics.h"
 #include "common/str_util.h"
-#include "common/trace.h"
+#include "solver/lp_backend.h"
 
 namespace pso {
-
-namespace {
-
-constexpr double kEps = 1e-9;
-constexpr size_t kMaxIterations = 200000;
-
-// Per-pivot instants emitted into the trace timeline, per RunSimplex
-// call; the ring buffer keeps recording past this.
-constexpr size_t kMaxPivotInstants = 256;
-
-// Pivot-trace sink handed to RunSimplex: a bounded ring of audit records
-// plus per-pivot trace instants. Null ring => introspection off.
-struct PivotSink {
-  trace::RingBuffer<LpPivotStep>* ring = nullptr;
-  uint8_t phase = 2;
-  size_t instants_emitted = 0;
-
-  void OnPivot(size_t iteration, size_t entering, size_t leaving,
-               double objective) {
-    if (ring == nullptr) return;
-    ring->Push(LpPivotStep{phase, iteration, entering, leaving, objective});
-    if (instants_emitted < kMaxPivotInstants && trace::Enabled()) {
-      ++instants_emitted;
-      trace::Instant("lp.pivot",
-                     {{"enter", std::to_string(entering)},
-                      {"leave", std::to_string(leaving)},
-                      {"obj", StrFormat("%.9g", objective)}});
-    }
-  }
-};
-
-// Dense simplex tableau. Row layout: m constraint rows then the objective
-// row; column layout: structural+slack+artificial columns then RHS.
-class Tableau {
- public:
-  Tableau(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_((rows + 1) * (cols + 1), 0.0) {}
-
-  double& At(size_t r, size_t c) { return data_[r * (cols_ + 1) + c]; }
-  double At(size_t r, size_t c) const { return data_[r * (cols_ + 1) + c]; }
-  double& Rhs(size_t r) { return At(r, cols_); }
-  double Rhs(size_t r) const { return At(r, cols_); }
-  double& Obj(size_t c) { return At(rows_, c); }
-  double Obj(size_t c) const { return At(rows_, c); }
-  double& ObjValue() { return At(rows_, cols_); }
-
-  size_t rows() const { return rows_; }
-  size_t cols() const { return cols_; }
-
-  // Gauss pivot on (pr, pc); makes column pc a unit vector with 1 at pr.
-  void Pivot(size_t pr, size_t pc) {
-    double piv = At(pr, pc);
-    PSO_CHECK(std::fabs(piv) > kEps);
-    double inv = 1.0 / piv;
-    for (size_t c = 0; c <= cols_; ++c) At(pr, c) *= inv;
-    for (size_t r = 0; r <= rows_; ++r) {
-      if (r == pr) continue;
-      double factor = At(r, pc);
-      if (std::fabs(factor) < kEps) {
-        At(r, pc) = 0.0;
-        continue;
-      }
-      for (size_t c = 0; c <= cols_; ++c) At(r, c) -= factor * At(pr, c);
-      At(r, pc) = 0.0;
-    }
-  }
-
- private:
-  size_t rows_;
-  size_t cols_;
-  std::vector<double> data_;
-};
-
-// Runs simplex minimization on the tableau whose objective row already
-// holds reduced costs w.r.t. the current basis. `allowed` masks columns
-// eligible to enter. Returns false on iteration-limit exhaustion.
-bool RunSimplex(Tableau& t, std::vector<size_t>& basis,
-                const std::vector<bool>& allowed, size_t* iterations,
-                PivotSink* sink = nullptr) {
-  size_t degenerate_streak = 0;
-  for (size_t iter = 0; iter < kMaxIterations; ++iter) {
-    // Entering column: Dantzig (most negative reduced cost); switch to
-    // Bland's rule (first negative) after a degenerate streak to guarantee
-    // termination.
-    bool bland = degenerate_streak > 64;
-    size_t enter = t.cols();
-    double best = -kEps;
-    for (size_t c = 0; c < t.cols(); ++c) {
-      if (!allowed[c]) continue;
-      double rc = t.Obj(c);
-      if (rc < -kEps) {
-        if (bland) {
-          enter = c;
-          break;
-        }
-        if (rc < best) {
-          best = rc;
-          enter = c;
-        }
-      }
-    }
-    if (enter == t.cols()) {
-      *iterations += iter;
-      return true;  // optimal
-    }
-
-    // Leaving row: min ratio; ties broken by smallest basis index (Bland).
-    // Pivot magnitudes below 1e-7 are rejected for numerical stability.
-    size_t leave = t.rows();
-    double best_ratio = 0.0;
-    for (size_t r = 0; r < t.rows(); ++r) {
-      double a = t.At(r, enter);
-      if (a > 1e-7) {
-        double ratio = std::max(0.0, t.Rhs(r)) / a;
-        if (leave == t.rows() || ratio < best_ratio - kEps ||
-            (std::fabs(ratio - best_ratio) <= kEps &&
-             basis[r] < basis[leave])) {
-          best_ratio = ratio;
-          leave = r;
-        }
-      }
-    }
-    if (leave == t.rows()) {
-      *iterations += iter;
-      return true;  // unbounded direction; caller inspects objective
-    }
-
-    degenerate_streak = (best_ratio <= kEps) ? degenerate_streak + 1 : 0;
-    size_t leaving_var = basis[leave];
-    t.Pivot(leave, enter);
-    basis[leave] = enter;
-    // The tableau stores the negated running objective in the corner
-    // cell; report the natural sign so traces read "objective fell".
-    if (sink != nullptr) {
-      sink->OnPivot(*iterations + iter, enter, leaving_var, -t.ObjValue());
-    }
-  }
-  return false;
-}
-
-}  // namespace
 
 size_t LpProblem::AddVariable(double lb, double ub, double cost) {
   // Malformed bounds poison the problem instead of aborting: Solve()
@@ -160,27 +15,24 @@ size_t LpProblem::AddVariable(double lb, double ub, double cost) {
   // appended so returned indices stay dense and later calls stay in range.
   if (build_status_.ok()) {
     if (!std::isfinite(lb)) {
-      build_status_ = Status::InvalidArgument(StrFormat(
-          "variable %zu: lower bound must be finite", lower_.size()));
+      build_status_ = Status::InvalidArgument(
+          StrFormat("variable %zu: lower bound must be finite",
+                    instance_.variables.size()));
     } else if (std::isnan(ub) || lb > ub) {
       build_status_ = Status::InvalidArgument(
-          StrFormat("variable %zu: empty bounds [%g, %g]", lower_.size(), lb,
-                    ub));
+          StrFormat("variable %zu: empty bounds [%g, %g]",
+                    instance_.variables.size(), lb, ub));
     } else if (!std::isfinite(cost)) {
-      build_status_ = Status::InvalidArgument(
-          StrFormat("variable %zu: cost must be finite", lower_.size()));
+      build_status_ = Status::InvalidArgument(StrFormat(
+          "variable %zu: cost must be finite", instance_.variables.size()));
     }
   }
   if (!build_status_.ok()) {
-    lower_.push_back(0.0);
-    upper_.push_back(0.0);
-    cost_.push_back(0.0);
-    return lower_.size() - 1;
+    instance_.variables.push_back(LpInstance::Variable{0.0, 0.0, 0.0});
+    return instance_.variables.size() - 1;
   }
-  lower_.push_back(lb);
-  upper_.push_back(ub);
-  cost_.push_back(cost);
-  return lower_.size() - 1;
+  instance_.variables.push_back(LpInstance::Variable{lb, ub, cost});
+  return instance_.variables.size() - 1;
 }
 
 void LpProblem::AddConstraint(
@@ -188,293 +40,56 @@ void LpProblem::AddConstraint(
     double rhs) {
   if (build_status_.ok()) {
     for (const auto& [idx, coeff] : coeffs) {
-      if (idx >= lower_.size()) {
+      if (idx >= instance_.variables.size()) {
         build_status_ = Status::InvalidArgument(
             StrFormat("constraint %zu references unknown variable %zu",
-                      rows_.size(), idx));
+                      instance_.rows.size(), idx));
         break;
       }
       if (!std::isfinite(coeff)) {
         build_status_ = Status::InvalidArgument(StrFormat(
             "constraint %zu: coefficient of variable %zu must be finite",
-            rows_.size(), idx));
+            instance_.rows.size(), idx));
         break;
       }
     }
     if (build_status_.ok() && !std::isfinite(rhs)) {
-      build_status_ = Status::InvalidArgument(StrFormat(
-          "constraint %zu: right-hand side must be finite", rows_.size()));
+      build_status_ = Status::InvalidArgument(
+          StrFormat("constraint %zu: right-hand side must be finite",
+                    instance_.rows.size()));
     }
   }
   if (!build_status_.ok()) return;
-  rows_.push_back(Row{coeffs, rel, rhs});
+  instance_.rows.push_back(LpInstance::Row{coeffs, rel, rhs});
 }
 
-namespace {
+Result<LpSolution> LpProblem::Solve() const { return Solve(LpSolveOptions{}); }
 
-// Publishes one solve's counters to the global registry on every exit
-// path (optimal, infeasible, unbounded, iteration limit). Counters are
-// seed-deterministic totals; the wall-clock span is reported separately.
-struct SolveMetrics {
-  size_t phase1_iterations = 0;
-  size_t total_iterations = 0;
-  size_t tableau_rows = 0;
-  size_t tableau_cols = 0;
-  metrics::ScopedSpan span{"lp.solve"};
-
-  ~SolveMetrics() {
-    metrics::GetCounter("lp.solves").Add(1);
-    metrics::GetCounter("lp.pivots").Add(total_iterations);
-    metrics::GetCounter("lp.phase1_iterations").Add(phase1_iterations);
-    metrics::GetCounter("lp.phase2_iterations")
-        .Add(total_iterations - phase1_iterations);
-    metrics::GetCounter("lp.tableau_rows").Add(tableau_rows);
-    metrics::GetCounter("lp.tableau_cols").Add(tableau_cols);
-  }
-};
-
-}  // namespace
-
-Result<LpSolution> LpProblem::Solve() const {
+Result<LpSolution> LpProblem::Solve(const LpSolveOptions& options) const {
   if (!build_status_.ok()) return build_status_;
-  SolveMetrics solve_metrics;
-  trace::Span solve_span("lp.solve");
-  // Introspection ring: one per solve, shared by both phases, collected
-  // only while tracing is on (the default path allocates nothing).
-  std::unique_ptr<trace::RingBuffer<LpPivotStep>> pivot_ring;
-  if (solve_span.active()) {
-    solve_span.Arg("vars", std::to_string(num_variables()));
-    solve_span.Arg("constraints", std::to_string(num_constraints()));
-    pivot_ring =
-        std::make_unique<trace::RingBuffer<LpPivotStep>>(kPivotTraceCapacity);
-  }
-  const size_t n = lower_.size();
+  Result<std::unique_ptr<LpBackend>> backend =
+      MakeLpBackend(DefaultLpBackendName());
+  // The default name is always registered (SetDefaultLpBackend checks),
+  // but a failure here must still surface as a Status, not a crash.
+  if (!backend.ok()) return backend.status();
+  return (*backend)->Solve(instance_, options);
+}
 
-  // Shifted problem: y_i = x_i - lb_i >= 0. Upper bounds become rows.
-  struct NormRow {
-    std::vector<std::pair<size_t, double>> coeffs;
-    Relation rel;
-    double rhs;
-  };
-  std::vector<NormRow> norm;
-  norm.reserve(rows_.size() + n);
-  for (const Row& row : rows_) {
-    double shift = 0.0;
-    for (const auto& [idx, coeff] : row.coeffs) shift += coeff * lower_[idx];
-    norm.push_back(NormRow{row.coeffs, row.rel, row.rhs - shift});
-  }
-  for (size_t i = 0; i < n; ++i) {
-    if (std::isfinite(upper_[i])) {
-      norm.push_back(NormRow{{{i, 1.0}}, Relation::kLessEq,
-                             upper_[i] - lower_[i]});
-    }
-  }
+Result<LpSolution> LpProblem::SolveWith(const LpBackend& backend,
+                                        const LpSolveOptions& options) const {
+  if (!build_status_.ok()) return build_status_;
+  return backend.Solve(instance_, options);
+}
 
-  // Flip rows to non-negative RHS.
-  for (NormRow& row : norm) {
-    if (row.rhs < 0.0) {
-      for (auto& [idx, coeff] : row.coeffs) coeff = -coeff;
-      row.rhs = -row.rhs;
-      row.rel = (row.rel == Relation::kLessEq)    ? Relation::kGreaterEq
-                : (row.rel == Relation::kGreaterEq) ? Relation::kLessEq
-                                                    : Relation::kEqual;
-    }
+LpProblem LpInstance::ToProblem() const {
+  LpProblem problem;
+  for (const Variable& v : variables) {
+    problem.AddVariable(v.lower, v.upper, v.cost);
   }
-
-  const size_t m = norm.size();
-
-  // Crash basis: a structural variable appearing in exactly one row with
-  // coefficient +1 (and zero entries elsewhere) can start basic in that
-  // row, avoiding an artificial. L1-fit formulations (residual-splitting
-  // u_j - v_j) crash completely this way and skip phase 1.
-  std::vector<int> occurrences(n, 0);
-  for (const NormRow& row : norm) {
-    for (const auto& [idx, coeff] : row.coeffs) {
-      (void)coeff;
-      ++occurrences[idx];
-    }
+  for (const Row& row : rows) {
+    problem.AddConstraint(row.coeffs, row.rel, row.rhs);
   }
-  // Variables with finite upper bounds occupy their bound row too (already
-  // counted, since bound rows are in `norm`).
-  std::vector<size_t> crash(m, SIZE_MAX);
-  for (size_t r = 0; r < m; ++r) {
-    // Only equality rows need crashing: <= rows get a slack basic and
-    // >= rows need their surplus handled by an artificial.
-    if (norm[r].rel != Relation::kEqual) continue;
-    for (const auto& [idx, coeff] : norm[r].coeffs) {
-      if (occurrences[idx] == 1 && std::fabs(coeff - 1.0) < 1e-12) {
-        crash[r] = idx;
-        break;
-      }
-    }
-  }
-
-  // Columns: n structural, then one slack/surplus per inequality, then one
-  // artificial per un-crashed >=/= row.
-  size_t num_slack = 0;
-  size_t num_art = 0;
-  for (size_t r = 0; r < m; ++r) {
-    if (norm[r].rel != Relation::kEqual) ++num_slack;
-    if (norm[r].rel != Relation::kLessEq && crash[r] == SIZE_MAX) ++num_art;
-  }
-  const size_t cols = n + num_slack + num_art;
-  const size_t art_begin = n + num_slack;
-
-  Tableau t(m, cols);
-  std::vector<size_t> basis(m);
-  size_t slack_at = n;
-  size_t art_at = art_begin;
-  for (size_t r = 0; r < m; ++r) {
-    for (const auto& [idx, coeff] : norm[r].coeffs) t.At(r, idx) += coeff;
-    t.Rhs(r) = norm[r].rhs;
-    switch (norm[r].rel) {
-      case Relation::kLessEq:
-        t.At(r, slack_at) = 1.0;
-        basis[r] = slack_at++;
-        break;
-      case Relation::kGreaterEq:
-        t.At(r, slack_at) = -1.0;
-        ++slack_at;
-        t.At(r, art_at) = 1.0;
-        basis[r] = art_at++;
-        break;
-      case Relation::kEqual:
-        if (crash[r] != SIZE_MAX) {
-          basis[r] = crash[r];
-        } else {
-          t.At(r, art_at) = 1.0;
-          basis[r] = art_at++;
-        }
-        break;
-    }
-  }
-  num_art = art_at - art_begin;
-  solve_metrics.tableau_rows = m;
-  solve_metrics.tableau_cols = cols;
-
-  size_t iterations = 0;
-
-  // ---- Phase 1: minimize sum of artificials. ----
-  // The span is opened even when the crash basis removed every
-  // artificial, so a trace always shows the phase-1/phase-2 pair; a
-  // zero-pivot phase 1 documents "feasible by construction".
-  {
-    trace::Span phase1_span("lp.phase1");
-    if (phase1_span.active()) {
-      phase1_span.Arg("artificials", std::to_string(num_art));
-    }
-    if (num_art > 0) {
-      for (size_t c = art_begin; c < cols; ++c) t.Obj(c) = 1.0;
-      // Reduce objective row w.r.t. the initial (artificial) basis.
-      for (size_t r = 0; r < m; ++r) {
-        if (basis[r] >= art_begin) {
-          for (size_t c = 0; c <= cols; ++c) t.Obj(c) -= t.At(r, c);
-        }
-      }
-      std::vector<bool> allowed(cols, true);
-      PivotSink sink{pivot_ring.get(), /*phase=*/1};
-      bool phase1_done = RunSimplex(t, basis, allowed, &iterations, &sink);
-      solve_metrics.phase1_iterations = iterations;
-      solve_metrics.total_iterations = iterations;
-      if (phase1_span.active()) {
-        phase1_span.Arg("pivots", std::to_string(iterations));
-      }
-      if (!phase1_done) {
-        PSO_LOG(WARN).Field("iterations", iterations)
-            << "LP phase-1 iteration limit exceeded";
-        return Status::Internal("phase-1 iteration limit exceeded");
-      }
-      if (-t.ObjValue() > 1e-6) {
-        PSO_LOG(DEBUG).Field("residual", -t.ObjValue()) << "LP infeasible";
-        return Status::Infeasible(
-            StrFormat("phase-1 residual %.3g", -t.ObjValue()));
-      }
-      // Pivot remaining (degenerate) artificials out of the basis.
-      for (size_t r = 0; r < m; ++r) {
-        if (basis[r] >= art_begin) {
-          size_t pivot_col = cols;
-          for (size_t c = 0; c < art_begin; ++c) {
-            if (std::fabs(t.At(r, c)) > kEps) {
-              pivot_col = c;
-              break;
-            }
-          }
-          if (pivot_col < cols) {
-            t.Pivot(r, pivot_col);
-            basis[r] = pivot_col;
-          }
-          // Else the row is all-zero over real columns: redundant
-          // constraint; the artificial stays basic at value 0, which is
-          // harmless as long as it cannot re-enter (masked below).
-        }
-      }
-    }
-  }
-
-  // ---- Phase 2: minimize the real objective. ----
-  trace::Span phase2_span("lp.phase2");
-  for (size_t c = 0; c <= cols; ++c) t.Obj(c) = 0.0;
-  for (size_t i = 0; i < n; ++i) t.Obj(i) = cost_[i];
-  for (size_t r = 0; r < m; ++r) {
-    size_t b = basis[r];
-    if (b < n && std::fabs(cost_[b]) > 0.0) {
-      double factor = cost_[b];
-      for (size_t c = 0; c <= cols; ++c) t.Obj(c) -= factor * t.At(r, c);
-    }
-  }
-  std::vector<bool> allowed(cols, true);
-  for (size_t c = art_begin; c < cols; ++c) allowed[c] = false;
-  PivotSink phase2_sink{pivot_ring.get(), /*phase=*/2};
-  bool phase2_done =
-      RunSimplex(t, basis, allowed, &iterations, &phase2_sink);
-  solve_metrics.total_iterations = iterations;
-  if (phase2_span.active()) {
-    phase2_span.Arg(
-        "pivots",
-        std::to_string(iterations - solve_metrics.phase1_iterations));
-  }
-  if (!phase2_done) {
-    PSO_LOG(WARN).Field("iterations", iterations)
-        << "LP phase-2 iteration limit exceeded";
-    return Status::Internal("phase-2 iteration limit exceeded");
-  }
-  // Unboundedness check: a negative reduced cost with no leaving row leaves
-  // the objective row non-optimal; detect by rescanning. This is a property
-  // of the model (a cost ray the constraints never cap), not a solver
-  // failure, so it gets its own status code.
-  for (size_t c = 0; c < cols; ++c) {
-    if (allowed[c] && t.Obj(c) < -1e-6) {
-      bool has_leaving = false;
-      for (size_t r = 0; r < m; ++r) {
-        if (t.At(r, c) > kEps) {
-          has_leaving = true;
-          break;
-        }
-      }
-      if (!has_leaving) {
-        return Status::Unbounded(StrFormat(
-            "objective improves without bound along column %zu", c));
-      }
-    }
-  }
-
-  LpSolution sol;
-  sol.values.assign(n, 0.0);
-  for (size_t r = 0; r < m; ++r) {
-    if (basis[r] < n) sol.values[basis[r]] = t.Rhs(r);
-  }
-  double obj = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    sol.values[i] += lower_[i];
-    obj += cost_[i] * sol.values[i];
-  }
-  sol.objective = obj;
-  sol.iterations = iterations;
-  if (pivot_ring != nullptr) {
-    sol.pivot_trace = pivot_ring->Drain();
-    solve_span.Arg("pivots", std::to_string(iterations));
-  }
-  return sol;
+  return problem;
 }
 
 }  // namespace pso

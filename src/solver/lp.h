@@ -1,56 +1,25 @@
-// Dense two-phase primal simplex LP solver.
+// LP problem builder and solve dispatch.
 //
 // The paper's reproduction band calls for "CBC/Gurobi or SAT solvers"; none
-// are available offline, so libpso ships its own. This solver handles the
-// bounded-variable linear programs produced by LP-decoding reconstruction
-// (Theorem 1.1(ii), Dwork–McSherry–Talwar LP decoding) at the instance
-// sizes our benches use (hundreds of variables/constraints, dense).
-//
-// Model: minimize c^T x subject to per-constraint relations and variable
-// bounds. Internally variables are shifted to x' >= 0, upper bounds become
-// rows, and a two-phase tableau simplex with Bland's rule runs to
-// optimality (Bland guarantees termination).
+// are available offline, so libpso ships its own. LpProblem is the validated
+// builder for the bounded-variable linear programs produced by LP-decoding
+// reconstruction (Theorem 1.1(ii), Dwork–McSherry–Talwar LP decoding); the
+// actual simplex lives behind the LpBackend interface (lp_backend.h), with
+// two built-ins: "sparse" (revised simplex with a factorized basis — the
+// default hot path) and "dense" (the original two-phase tableau, kept as a
+// differential oracle).
 
 #ifndef PSO_SOLVER_LP_H_
 #define PSO_SOLVER_LP_H_
 
-#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "solver/lp_backend.h"
 
 namespace pso {
-
-/// Relation of a linear constraint.
-enum class Relation { kLessEq, kGreaterEq, kEqual };
-
-/// One simplex pivot, as recorded by the introspection trace: which
-/// column entered, which basis variable left, and the tableau objective
-/// after the pivot. A replayable audit record of the solver's path.
-struct LpPivotStep {
-  uint8_t phase = 2;        ///< 1 = feasibility phase, 2 = optimization.
-  size_t iteration = 0;     ///< Global pivot index within the solve.
-  size_t entering = 0;      ///< Column entering the basis.
-  size_t leaving = 0;       ///< Basis variable leaving (pre-pivot).
-  double objective = 0.0;   ///< Tableau objective value after the pivot.
-};
-
-/// Outcome of an LP solve.
-struct LpSolution {
-  std::vector<double> values;  ///< Optimal variable assignment.
-  double objective = 0.0;      ///< Optimal objective value.
-  size_t iterations = 0;       ///< Simplex pivots performed.
-  /// Pivot-by-pivot audit trail: the most recent kPivotTraceCapacity
-  /// pivots (a bounded ring). Collected only while tracing is enabled
-  /// (trace::Enabled()); empty otherwise, so the default path pays
-  /// nothing.
-  std::vector<LpPivotStep> pivot_trace;
-};
-
-/// Ring capacity of LpSolution::pivot_trace.
-inline constexpr size_t kPivotTraceCapacity = 256;
 
 /// A linear program under construction.
 ///
@@ -76,31 +45,35 @@ class LpProblem {
   void AddConstraint(const std::vector<std::pair<size_t, double>>& coeffs,
                      Relation rel, double rhs);
 
-  size_t num_variables() const { return lower_.size(); }
-  size_t num_constraints() const { return rows_.size(); }
+  size_t num_variables() const { return instance_.variables.size(); }
+  size_t num_constraints() const { return instance_.rows.size(); }
+
+  /// The validated plain-data instance (what backends consume). Only
+  /// meaningful while build_status() is OK.
+  const LpInstance& instance() const { return instance_; }
 
   /// OK unless a builder call above was handed a malformed variable or
   /// constraint; then the first violation, as InvalidArgument.
   const Status& build_status() const { return build_status_; }
 
-  /// Solves to optimality. Returns the recorded build_status() error if
-  /// the instance is malformed, kInfeasible if phase 1 cannot reach a
-  /// feasible basis, kUnbounded if the objective improves without bound
-  /// (our decoding LPs are always bounded, so callers may treat it as a
-  /// modeling error), and kInternal on iteration-limit exhaustion.
+  /// Solves to optimality with the process default backend (see
+  /// DefaultLpBackendName / --lp-backend). Returns the recorded
+  /// build_status() error if the instance is malformed, kInfeasible if no
+  /// feasible point exists, kUnbounded if the objective improves without
+  /// bound (our decoding LPs are always bounded, so callers may treat it
+  /// as a modeling error), and kInternal on iteration-limit exhaustion.
   [[nodiscard]] Result<LpSolution> Solve() const;
 
- private:
-  struct Row {
-    std::vector<std::pair<size_t, double>> coeffs;
-    Relation rel;
-    double rhs;
-  };
+  /// As Solve(), with per-solve options (warm-start basis in, final basis
+  /// out) for backends that support them.
+  [[nodiscard]] Result<LpSolution> Solve(const LpSolveOptions& options) const;
 
-  std::vector<double> lower_;
-  std::vector<double> upper_;
-  std::vector<double> cost_;
-  std::vector<Row> rows_;
+  /// As Solve(options), on an explicit backend instance.
+  [[nodiscard]] Result<LpSolution> SolveWith(
+      const LpBackend& backend, const LpSolveOptions& options) const;
+
+ private:
+  LpInstance instance_;
   Status build_status_;
 };
 

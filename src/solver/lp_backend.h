@@ -1,0 +1,165 @@
+// Pluggable LP solver backends.
+//
+// The LP decoder is the paper's workhorse attack (Theorem 1.1(ii) LP
+// decoding), so the solver behind it is swappable: every backend consumes
+// the same plain-data LpInstance and produces the same LpSolution /
+// Status contract, and a process-wide registry selects the default at
+// runtime (`--lp-backend=dense|sparse` on psoctl and the benches). The
+// original dense tableau simplex survives as the "dense" backend — a
+// differential oracle for the sparse revised-simplex rewrite — and any
+// future external solver slots in through RegisterLpBackend without
+// touching call sites.
+//
+// Model: minimize c^T x subject to per-constraint relations and variable
+// bounds (lower finite, upper finite or +inf). Instances handed to a
+// backend must be well-formed; LpProblem's builder and the lp_io decoder
+// both guarantee that.
+
+#ifndef PSO_SOLVER_LP_BACKEND_H_
+#define PSO_SOLVER_LP_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pso {
+
+class LpProblem;
+
+/// Relation of a linear constraint.
+enum class Relation { kLessEq, kGreaterEq, kEqual };
+
+/// One simplex pivot, as recorded by the introspection trace: which
+/// column entered, which basis variable left, and the objective after
+/// the pivot. A replayable audit record of the solver's path. Column
+/// numbering is backend-internal (structural columns first, then the
+/// backend's slack/logical columns).
+struct LpPivotStep {
+  uint8_t phase = 2;        ///< 1 = feasibility phase, 2 = optimization.
+  size_t iteration = 0;     ///< Global pivot index within the solve.
+  size_t entering = 0;      ///< Column entering the basis.
+  size_t leaving = 0;       ///< Basis variable leaving (pre-pivot).
+  double objective = 0.0;   ///< Objective value after the pivot.
+};
+
+/// Outcome of an LP solve.
+struct LpSolution {
+  std::vector<double> values;  ///< Optimal variable assignment.
+  double objective = 0.0;      ///< Optimal objective value.
+  size_t iterations = 0;       ///< Simplex pivots performed.
+  /// Pivot-by-pivot audit trail: the most recent kPivotTraceCapacity
+  /// pivots (a bounded ring). Collected only while tracing is enabled
+  /// (trace::Enabled()); empty otherwise, so the default path pays
+  /// nothing.
+  std::vector<LpPivotStep> pivot_trace;
+};
+
+/// Ring capacity of LpSolution::pivot_trace.
+inline constexpr size_t kPivotTraceCapacity = 256;
+
+/// A plain-data LP instance: the unit every backend consumes and the
+/// lp_io codec round-trips. Build one through LpProblem (which validates)
+/// or DecodeLpInstance (which validates harder).
+struct LpInstance {
+  struct Variable {
+    double lower = 0.0;  ///< Finite.
+    double upper = 0.0;  ///< Finite or +infinity; >= lower.
+    double cost = 0.0;   ///< Finite.
+  };
+  struct Row {
+    std::vector<std::pair<size_t, double>> coeffs;
+    Relation rel = Relation::kLessEq;
+    double rhs = 0.0;
+  };
+  std::vector<Variable> variables;
+  std::vector<Row> rows;
+
+  /// Builds the solver problem. An instance produced by a successful
+  /// DecodeLpInstance is always well-formed, so the problem's
+  /// build_status() is OK.
+  LpProblem ToProblem() const;
+};
+
+/// Basis membership of one column, as snapshotted for warm starts.
+enum class LpVarStatus : uint8_t {
+  kAtLower = 0,  ///< Nonbasic at its lower bound.
+  kAtUpper = 1,  ///< Nonbasic at its upper bound.
+  kBasic = 2,    ///< In the basis.
+};
+
+/// A basis snapshot: one status per structural variable and one per row
+/// logical. Produced by backends that support warm starts and fed back
+/// into a later solve of a same-shaped (or grown) instance. A basis from
+/// a *smaller* instance warm-starts a grown one: appended rows start with
+/// their logical basic, appended variables start at their lower bound
+/// (the natural state after AddConstraint/AddVariable).
+struct LpBasis {
+  std::vector<LpVarStatus> structurals;
+  std::vector<LpVarStatus> logicals;
+
+  bool empty() const { return structurals.empty() && logicals.empty(); }
+};
+
+/// Per-solve options. Both pointers are borrowed; null = off.
+struct LpSolveOptions {
+  /// Basis hint from a previous solve. Backends that cannot use it (or
+  /// find it singular / mis-shaped) silently cold-start instead.
+  const LpBasis* warm_start = nullptr;
+  /// When non-null, a backend that supports warm starts writes the final
+  /// basis here on an optimal solve (left untouched otherwise).
+  LpBasis* final_basis = nullptr;
+};
+
+/// A solver backend. Implementations are stateless and cheap to build;
+/// all per-solve state lives on the stack of Solve().
+class LpBackend {
+ public:
+  virtual ~LpBackend() = default;
+
+  /// Registry name, e.g. "dense" or "sparse".
+  virtual const char* name() const = 0;
+
+  /// Solves `model` to optimality. Returns kInfeasible when no point
+  /// satisfies the constraints, kUnbounded when the objective improves
+  /// without bound, and kInternal on iteration-limit exhaustion.
+  [[nodiscard]] virtual Result<LpSolution> Solve(
+      const LpInstance& model, const LpSolveOptions& options) const = 0;
+};
+
+/// The original dense two-phase tableau simplex ("dense").
+std::unique_ptr<LpBackend> MakeDenseLpBackend();
+
+/// The sparse revised simplex with an eta-updated factorized basis
+/// ("sparse").
+std::unique_ptr<LpBackend> MakeRevisedSimplexLpBackend();
+
+using LpBackendFactory = std::unique_ptr<LpBackend> (*)();
+
+/// Adds a backend to the registry (later registrations win on name
+/// collision, so tests can shadow a built-in). Thread-safe.
+void RegisterLpBackend(const std::string& name, LpBackendFactory factory);
+
+/// Instantiates a registered backend; InvalidArgument for unknown names
+/// (the message lists what is available).
+[[nodiscard]] Result<std::unique_ptr<LpBackend>> MakeLpBackend(
+    const std::string& name);
+
+/// Registered backend names, registration order, built-ins first.
+std::vector<std::string> LpBackendNames();
+
+/// The backend LpProblem::Solve uses when none is named explicitly.
+/// Starts as "sparse" (the hot path); SetDefaultLpBackend steers every
+/// subsequent default-backend solve in the process (e.g. --lp-backend).
+std::string DefaultLpBackendName();
+
+/// Sets the process-wide default; InvalidArgument if `name` is not
+/// registered. Thread-safe, but intended for startup (flag parsing).
+[[nodiscard]] Status SetDefaultLpBackend(const std::string& name);
+
+}  // namespace pso
+
+#endif  // PSO_SOLVER_LP_BACKEND_H_

@@ -55,13 +55,6 @@ Status Truncated(const char* what, size_t at) {
 
 }  // namespace
 
-LpProblem LpInstance::ToProblem() const {
-  LpProblem lp;
-  for (const Variable& v : variables) lp.AddVariable(v.lower, v.upper, v.cost);
-  for (const Row& r : rows) lp.AddConstraint(r.coeffs, r.rel, r.rhs);
-  return lp;
-}
-
 std::string EncodeLpInstance(const LpInstance& instance) {
   std::string out(kMagic, sizeof(kMagic));
   AppendU32(&out, static_cast<uint32_t>(instance.variables.size()));

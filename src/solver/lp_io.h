@@ -34,28 +34,6 @@ namespace pso {
 inline constexpr uint32_t kLpInstanceMaxVars = 4096;
 inline constexpr uint32_t kLpInstanceMaxRows = 16384;
 
-/// A plain-data LP instance, the unit the codec works on. Convert to a
-/// solver-ready problem with ToProblem().
-struct LpInstance {
-  struct Variable {
-    double lower = 0.0;
-    double upper = 0.0;
-    double cost = 0.0;
-  };
-  struct Row {
-    std::vector<std::pair<size_t, double>> coeffs;
-    Relation rel = Relation::kLessEq;
-    double rhs = 0.0;
-  };
-  std::vector<Variable> variables;
-  std::vector<Row> rows;
-
-  /// Builds the solver problem. The instance produced by a successful
-  /// DecodeLpInstance is always well-formed, so the problem's
-  /// build_status() is OK.
-  LpProblem ToProblem() const;
-};
-
 /// Serializes `instance` into the wire format above.
 std::string EncodeLpInstance(const LpInstance& instance);
 

@@ -24,6 +24,7 @@
 #include "pso/game.h"
 #include "pso/interactive.h"
 #include "pso/mechanisms.h"
+#include "solver/lp.h"
 
 namespace pso {
 namespace {
@@ -156,6 +157,100 @@ TEST(DeterminismTest, MembershipExperimentIdenticalAcrossThreadCounts) {
     EXPECT_EQ(results[0].advantage, results[v].advantage);
     EXPECT_EQ(results[0].mean_in, results[v].mean_in);
     EXPECT_EQ(results[0].mean_out, results[v].mean_out);
+  }
+}
+
+// ---------------------------------------------------------------------
+// LP backend determinism: the revised simplex keeps no global mutable
+// state, so the same instance must produce bit-identical pivot counts and
+// solution vectors whether solved serially, concurrently on a pool, or
+// repeatedly from a warm-start basis.
+// ---------------------------------------------------------------------
+
+// A seeded decoder-shaped L1-fit LP (box variables + u/v residual rows).
+LpProblem SeededDecodeLp(uint64_t seed, size_t n, size_t q) {
+  Rng rng(seed);
+  LpProblem lp;
+  std::vector<size_t> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = lp.AddVariable(0.0, 1.0, 0.0);
+  for (size_t j = 0; j < q; ++j) {
+    size_t u = lp.AddVariable(0.0, LpProblem::kInfinity, 1.0);
+    size_t v = lp.AddVariable(0.0, LpProblem::kInfinity, 1.0);
+    std::vector<std::pair<size_t, double>> row;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) row.emplace_back(x[i], 1.0);
+    }
+    row.emplace_back(u, 1.0);
+    row.emplace_back(v, -1.0);
+    lp.AddConstraint(row, Relation::kEqual,
+                     static_cast<double>(rng.UniformInt(0, (int64_t)n)));
+  }
+  return lp;
+}
+
+TEST(DeterminismTest, LpBackendsIdenticalAcrossThreadCounts) {
+  for (const char* backend_name : {"dense", "sparse"}) {
+    Result<std::unique_ptr<LpBackend>> backend = MakeLpBackend(backend_name);
+    ASSERT_TRUE(backend.ok());
+    LpProblem lp = SeededDecodeLp(/*seed=*/0x17D5, /*n=*/12, /*q=*/40);
+    Result<LpSolution> serial = lp.SolveWith(**backend, LpSolveOptions{});
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+    // The same solve replayed concurrently on every pool (the per-solve
+    // state is stack-local; only the metric counters are shared, and they
+    // only ever add).
+    auto pools = MakePools();
+    for (const auto& pool : pools) {
+      constexpr size_t kReplays = 8;
+      std::vector<Result<LpSolution>> replays;
+      replays.reserve(kReplays);
+      for (size_t i = 0; i < kReplays; ++i) {
+        replays.push_back(Status::Internal("not run"));
+      }
+      ParallelFor(
+          pool.get(), kReplays,
+          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              replays[i] = lp.SolveWith(**backend, LpSolveOptions{});
+            }
+          },
+          /*chunk_size=*/1);
+      for (const Result<LpSolution>& r : replays) {
+        ASSERT_TRUE(r.ok()) << backend_name;
+        EXPECT_EQ(r->iterations, serial->iterations) << backend_name;
+        EXPECT_EQ(r->values, serial->values) << backend_name;
+        EXPECT_EQ(r->objective, serial->objective) << backend_name;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, WarmStartedSolvesReplayBitIdentically) {
+  Result<std::unique_ptr<LpBackend>> sparse = MakeLpBackend("sparse");
+  ASSERT_TRUE(sparse.ok());
+  LpProblem lp = SeededDecodeLp(/*seed=*/0xBA5E, /*n=*/10, /*q=*/30);
+
+  LpBasis basis;
+  LpSolveOptions seed_options;
+  seed_options.final_basis = &basis;
+  Result<LpSolution> cold = lp.SolveWith(**sparse, seed_options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_FALSE(basis.empty());
+
+  // Repeated warm-started solves from the same basis: the basis is read,
+  // re-exported identical (the solve is already optimal), and the pivot
+  // count and solution vector replay exactly.
+  LpSolveOptions warm_options;
+  warm_options.warm_start = &basis;
+  warm_options.final_basis = &basis;
+  Result<LpSolution> first = lp.SolveWith(**sparse, warm_options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  for (int replay = 0; replay < 3; ++replay) {
+    Result<LpSolution> again = lp.SolveWith(**sparse, warm_options);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(again->iterations, first->iterations) << "replay " << replay;
+    EXPECT_EQ(again->values, first->values) << "replay " << replay;
+    EXPECT_EQ(again->objective, first->objective) << "replay " << replay;
   }
 }
 

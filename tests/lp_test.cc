@@ -1,8 +1,13 @@
-// Tests for the simplex LP solver.
+// Tests for the simplex LP solvers. Every scenario runs against each
+// registered backend (the dense tableau and the sparse revised simplex)
+// through the same LpProblem front end, so the suite doubles as the
+// backends' shared conformance contract.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <tuple>
 
 #include "common/rng.h"
 #include "solver/lp.h"
@@ -10,7 +15,18 @@
 namespace pso {
 namespace {
 
-TEST(LpTest, SimpleTwoVariableMaximization) {
+// Fixture parameterized on the backend registry name; Solve() routes
+// through LpProblem::SolveWith so build validation still applies.
+class LpBackendTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Result<LpSolution> Solve(const LpProblem& lp) {
+    Result<std::unique_ptr<LpBackend>> backend = MakeLpBackend(GetParam());
+    if (!backend.ok()) return backend.status();
+    return lp.SolveWith(**backend, LpSolveOptions{});
+  }
+};
+
+TEST_P(LpBackendTest, SimpleTwoVariableMaximization) {
   // max x + y  s.t.  x + 2y <= 4,  3x + y <= 6,  x,y >= 0.
   // As minimization of -(x+y); optimum at (8/5, 6/5), value 14/5.
   LpProblem lp;
@@ -18,82 +34,82 @@ TEST(LpTest, SimpleTwoVariableMaximization) {
   size_t y = lp.AddVariable(0, LpProblem::kInfinity, -1.0);
   lp.AddConstraint({{x, 1.0}, {y, 2.0}}, Relation::kLessEq, 4.0);
   lp.AddConstraint({{x, 3.0}, {y, 1.0}}, Relation::kLessEq, 6.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_TRUE(sol.ok()) << sol.status().ToString();
   EXPECT_NEAR(sol->objective, -14.0 / 5.0, 1e-7);
   EXPECT_NEAR(sol->values[x], 8.0 / 5.0, 1e-7);
   EXPECT_NEAR(sol->values[y], 6.0 / 5.0, 1e-7);
 }
 
-TEST(LpTest, EqualityConstraint) {
+TEST_P(LpBackendTest, EqualityConstraint) {
   // min x + y  s.t.  x + y = 3, x <= 2, y <= 2.
   LpProblem lp;
   size_t x = lp.AddVariable(0, 2.0, 1.0);
   size_t y = lp.AddVariable(0, 2.0, 1.0);
   lp.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 3.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_TRUE(sol.ok()) << sol.status().ToString();
   EXPECT_NEAR(sol->objective, 3.0, 1e-7);
   EXPECT_NEAR(sol->values[x] + sol->values[y], 3.0, 1e-7);
 }
 
-TEST(LpTest, GreaterEqualConstraint) {
+TEST_P(LpBackendTest, GreaterEqualConstraint) {
   // min 2x + y  s.t.  x + y >= 4, x >= 0, y >= 0. Optimum (0,4) value 4.
   LpProblem lp;
   size_t x = lp.AddVariable(0, LpProblem::kInfinity, 2.0);
   size_t y = lp.AddVariable(0, LpProblem::kInfinity, 1.0);
   lp.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEq, 4.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_TRUE(sol.ok());
   EXPECT_NEAR(sol->objective, 4.0, 1e-7);
   EXPECT_NEAR(sol->values[y], 4.0, 1e-7);
 }
 
-TEST(LpTest, NonZeroLowerBounds) {
+TEST_P(LpBackendTest, NonZeroLowerBounds) {
   // min x  s.t.  x >= 5 via bounds. Optimum 5.
   LpProblem lp;
   size_t x = lp.AddVariable(5.0, 10.0, 1.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_TRUE(sol.ok());
   EXPECT_NEAR(sol->values[x], 5.0, 1e-9);
 }
 
-TEST(LpTest, NegativeLowerBounds) {
+TEST_P(LpBackendTest, NegativeLowerBounds) {
   // min x  s.t.  x in [-3, 3]. Optimum -3.
   LpProblem lp;
   size_t x = lp.AddVariable(-3.0, 3.0, 1.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_TRUE(sol.ok());
   EXPECT_NEAR(sol->values[x], -3.0, 1e-9);
 }
 
-TEST(LpTest, InfeasibleDetected) {
+TEST_P(LpBackendTest, InfeasibleDetected) {
   LpProblem lp;
   size_t x = lp.AddVariable(0, 1.0, 0.0);
   lp.AddConstraint({{x, 1.0}}, Relation::kGreaterEq, 2.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_FALSE(sol.ok());
   EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
 }
 
-TEST(LpTest, ContradictoryEqualitiesInfeasible) {
+TEST_P(LpBackendTest, ContradictoryEqualitiesInfeasible) {
   LpProblem lp;
   size_t x = lp.AddVariable(0, LpProblem::kInfinity, 0.0);
   lp.AddConstraint({{x, 1.0}}, Relation::kEqual, 1.0);
   lp.AddConstraint({{x, 1.0}}, Relation::kEqual, 2.0);
-  EXPECT_FALSE(lp.Solve().ok());
+  EXPECT_FALSE(Solve(lp).ok());
 }
 
-TEST(LpTest, UnboundedDetected) {
+TEST_P(LpBackendTest, UnboundedDetected) {
   // min -x with x unbounded above.
   LpProblem lp;
   lp.AddVariable(0, LpProblem::kInfinity, -1.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_FALSE(sol.ok());
   EXPECT_EQ(sol.status().code(), StatusCode::kUnbounded);
 }
 
-TEST(LpTest, UnboundedWithConstraintsIsNotInternal) {
+TEST_P(LpBackendTest, UnboundedWithConstraintsIsNotInternal) {
   // min -x - y  s.t.  x - y <= 1, x,y >= 0: the ray (t, t) improves the
   // objective forever. Must classify as kUnbounded — a model property —
   // never as kInternal (a solver failure).
@@ -101,35 +117,35 @@ TEST(LpTest, UnboundedWithConstraintsIsNotInternal) {
   size_t x = lp.AddVariable(0, LpProblem::kInfinity, -1.0);
   size_t y = lp.AddVariable(0, LpProblem::kInfinity, -1.0);
   lp.AddConstraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEq, 1.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_FALSE(sol.ok());
   EXPECT_EQ(sol.status().code(), StatusCode::kUnbounded);
   EXPECT_NE(sol.status().code(), StatusCode::kInternal);
 }
 
-TEST(LpTest, BoundingTheRayRestoresOptimality) {
+TEST_P(LpBackendTest, BoundingTheRayRestoresOptimality) {
   // The same model with an upper bound on each variable is bounded again:
   // regression pair for the unbounded classifier.
   LpProblem lp;
   size_t x = lp.AddVariable(0, 10.0, -1.0);
   size_t y = lp.AddVariable(0, 10.0, -1.0);
   lp.AddConstraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEq, 1.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_TRUE(sol.ok()) << sol.status().ToString();
   EXPECT_NEAR(sol->objective, -20.0, 1e-7);
 }
 
-TEST(LpTest, RedundantConstraintsHandled) {
+TEST_P(LpBackendTest, RedundantConstraintsHandled) {
   LpProblem lp;
   size_t x = lp.AddVariable(0, LpProblem::kInfinity, 1.0);
   lp.AddConstraint({{x, 1.0}}, Relation::kEqual, 2.0);
   lp.AddConstraint({{x, 2.0}}, Relation::kEqual, 4.0);  // same constraint
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_TRUE(sol.ok()) << sol.status().ToString();
   EXPECT_NEAR(sol->values[x], 2.0, 1e-7);
 }
 
-TEST(LpTest, DegenerateVertexTerminates) {
+TEST_P(LpBackendTest, DegenerateVertexTerminates) {
   // Multiple constraints meeting at the optimum (degeneracy stress).
   LpProblem lp;
   size_t x = lp.AddVariable(0, LpProblem::kInfinity, -1.0);
@@ -138,12 +154,12 @@ TEST(LpTest, DegenerateVertexTerminates) {
   lp.AddConstraint({{y, 1.0}}, Relation::kLessEq, 1.0);
   lp.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 2.0);
   lp.AddConstraint({{x, 1.0}, {y, 2.0}}, Relation::kLessEq, 3.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_TRUE(sol.ok());
   EXPECT_NEAR(sol->objective, -2.0, 1e-7);
 }
 
-TEST(LpTest, L1FitRecoversPoint) {
+TEST_P(LpBackendTest, L1FitRecoversPoint) {
   // min |x - 3| + |y + 1| encoded with slack variables.
   LpProblem lp;
   size_t x = lp.AddVariable(-10, 10, 0.0);
@@ -154,19 +170,27 @@ TEST(LpTest, L1FitRecoversPoint) {
   lp.AddConstraint({{x, 1.0}, {tx, 1.0}}, Relation::kGreaterEq, 3.0);
   lp.AddConstraint({{y, 1.0}, {ty, -1.0}}, Relation::kLessEq, -1.0);
   lp.AddConstraint({{y, 1.0}, {ty, 1.0}}, Relation::kGreaterEq, -1.0);
-  auto sol = lp.Solve();
+  auto sol = Solve(lp);
   ASSERT_TRUE(sol.ok());
   EXPECT_NEAR(sol->objective, 0.0, 1e-7);
   EXPECT_NEAR(sol->values[x], 3.0, 1e-7);
   EXPECT_NEAR(sol->values[y], -1.0, 1e-7);
 }
 
+INSTANTIATE_TEST_SUITE_P(Backends, LpBackendTest,
+                         ::testing::Values("dense", "sparse"),
+                         [](const auto& info) { return info.param; });
+
 // Property sweep: random feasible systems must solve and satisfy all
-// constraints at the reported solution.
-class LpRandomTest : public ::testing::TestWithParam<int> {};
+// constraints at the reported solution — on every backend.
+class LpRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
 
 TEST_P(LpRandomTest, SolutionSatisfiesConstraints) {
-  Rng rng(1000 + GetParam());
+  const auto& [seed, backend_name] = GetParam();
+  Result<std::unique_ptr<LpBackend>> backend = MakeLpBackend(backend_name);
+  ASSERT_TRUE(backend.ok());
+  Rng rng(1000 + seed);
   const size_t n = 6;
   const size_t m = 8;
   LpProblem lp;
@@ -196,7 +220,7 @@ TEST_P(LpRandomTest, SolutionSatisfiesConstraints) {
     lp.AddConstraint(row.coeffs, row.rel, row.rhs);
     rows.push_back(std::move(row));
   }
-  auto sol = lp.Solve();
+  auto sol = lp.SolveWith(**backend, LpSolveOptions{});
   ASSERT_TRUE(sol.ok()) << sol.status().ToString();
   for (const auto& row : rows) {
     double lhs = 0.0;
@@ -209,7 +233,14 @@ TEST_P(LpRandomTest, SolutionSatisfiesConstraints) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomTest, ::testing::Range(0, 10));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, LpRandomTest,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values("dense", "sparse")),
+    [](const auto& info) {
+      return std::string(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<0>(info.param));
+    });
 
 }  // namespace
 }  // namespace pso

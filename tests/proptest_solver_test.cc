@@ -33,7 +33,9 @@ namespace {
 // ---------------------------------------------------------------------
 
 // Integer-valued tiny LPs keep the oracle's Gaussian elimination exact to
-// well below the comparison tolerance.
+// well below the comparison tolerance. About one variable in seven gets
+// an infinite upper bound, so the generator reaches the kUnbounded status
+// path (the vertex oracle only runs on fully box-bounded instances).
 LpInstance GenTinyLp(Rng& rng, size_t scale) {
   LpInstance inst;
   const size_t n = 1 + static_cast<size_t>(rng.UniformUint64(3));
@@ -41,7 +43,11 @@ LpInstance GenTinyLp(Rng& rng, size_t scale) {
     LpInstance::Variable v;
     v.lower = static_cast<double>(rng.UniformInt(-3, 3));
     const int64_t max_width = static_cast<int64_t>(scale < 4 ? scale : 4);
-    v.upper = v.lower + static_cast<double>(rng.UniformInt(0, max_width));
+    if (rng.Bernoulli(0.15)) {
+      v.upper = std::numeric_limits<double>::infinity();
+    } else {
+      v.upper = v.lower + static_cast<double>(rng.UniformInt(0, max_width));
+    }
     v.cost = static_cast<double>(rng.UniformInt(-3, 3));
     inst.variables.push_back(v);
   }
@@ -169,29 +175,79 @@ LpOracleResult BruteForceLp(const LpInstance& inst) {
   return out;
 }
 
-TEST(LpDifferentialTest, SimplexMatchesVertexEnumeration) {
+// Every generated instance is solved by BOTH registered backends; the
+// statuses must match exactly (optimal / kInfeasible / kUnbounded) and
+// optimal objectives must agree. Box-bounded instances are additionally
+// checked against the brute-force vertex oracle.
+struct BackendOutcome {
+  Status status;  // default-constructed OK
+  double objective = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+BackendOutcome SolveOn(const char* backend, const LpInstance& inst) {
+  BackendOutcome out;
+  Result<std::unique_ptr<LpBackend>> be = MakeLpBackend(backend);
+  Result<LpSolution> got = (*be)->Solve(inst, LpSolveOptions{});
+  if (got.ok()) {
+    out.objective = got->objective;
+  } else {
+    out.status = got.status();
+  }
+  return out;
+}
+
+bool BoxBounded(const LpInstance& inst) {
+  for (const LpInstance::Variable& v : inst.variables) {
+    if (std::isinf(v.upper)) return false;
+  }
+  return true;
+}
+
+TEST(LpDifferentialTest, BackendsAgreeAndMatchVertexEnumeration) {
   proptest::Config cfg{/*master_seed=*/0x11aa22bb, /*iterations=*/300,
                        /*max_scale=*/4, /*min_scale=*/1};
   EXPECT_TRUE(proptest::ForAll<LpInstance>(
       cfg, GenTinyLp, [](const LpInstance& inst) -> std::string {
-        LpOracleResult oracle = BruteForceLp(inst);
-        Result<LpSolution> got = inst.ToProblem().Solve();
-        if (!got.ok() && got.status().code() != StatusCode::kInfeasible) {
-          return "solver returned unexpected status " +
-                 got.status().ToString();
+        BackendOutcome dense = SolveOn("dense", inst);
+        BackendOutcome sparse = SolveOn("sparse", inst);
+        for (const BackendOutcome* r : {&dense, &sparse}) {
+          if (!r->ok() &&
+              r->status.code() != StatusCode::kInfeasible &&
+              r->status.code() != StatusCode::kUnbounded) {
+            return "solver returned unexpected status " +
+                   r->status.ToString();
+          }
         }
-        if (got.ok() != oracle.feasible) {
+        if (dense.status.code() != sparse.status.code()) {
+          return StrFormat(
+              "status disagrees: dense=%s sparse=%s (%zu vars, %zu rows)",
+              dense.status.ToString().c_str(),
+              sparse.status.ToString().c_str(), inst.variables.size(),
+              inst.rows.size());
+        }
+        if (dense.ok() &&
+            std::fabs(dense.objective - sparse.objective) > 1e-6) {
+          return StrFormat(
+              "backends disagree on objective: dense=%.9g sparse=%.9g",
+              dense.objective, sparse.objective);
+        }
+        if (!BoxBounded(inst)) return "";  // oracle needs a polytope
+
+        LpOracleResult oracle = BruteForceLp(inst);
+        if (dense.ok() != oracle.feasible) {
           return StrFormat(
               "feasibility disagrees: simplex=%s oracle=%s (%zu vars, %zu "
               "rows)",
-              got.ok() ? "feasible" : "infeasible",
+              dense.ok() ? "feasible" : "infeasible",
               oracle.feasible ? "feasible" : "infeasible",
               inst.variables.size(), inst.rows.size());
         }
-        if (got.ok() &&
-            std::fabs(got->objective - oracle.objective) > 1e-5) {
+        if (dense.ok() &&
+            std::fabs(dense.objective - oracle.objective) > 1e-5) {
           return StrFormat("objective disagrees: simplex=%.9g oracle=%.9g",
-                           got->objective, oracle.objective);
+                           dense.objective, oracle.objective);
         }
         return "";
       }));

@@ -71,14 +71,24 @@ def baseline_document(report, skip_prefixes):
     }
 
 
-def diff_counters(baseline, current):
-    """Returns a list of human-readable drift lines (empty = clean)."""
+def diff_counters(baseline, current, notes, allow_new=False):
+    """Returns a list of human-readable drift lines (empty = clean).
+
+    With allow_new, counters present only in the current report go to
+    `notes` (printed informationally) instead of gating — the intended
+    mode while a change that introduces new instrumentation (e.g. a new
+    solver backend's counters) is in flight before its baseline refresh
+    lands.
+    """
     lines = []
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
             lines.append(f"counter removed: {name} (baseline {baseline[name]})")
         elif name not in baseline:
-            lines.append(f"counter added: {name} = {current[name]}")
+            if allow_new:
+                notes.append(f"new counter (allowed): {name} = {current[name]}")
+            else:
+                lines.append(f"counter added: {name} = {current[name]}")
         elif baseline[name] != current[name]:
             lines.append(
                 f"counter changed: {name}: {baseline[name]} -> {current[name]}"
@@ -112,6 +122,12 @@ def main():
         "--update",
         action="store_true",
         help="rewrite the baselines from the current reports instead of gating",
+    )
+    parser.add_argument(
+        "--allow-new-counters",
+        action="store_true",
+        help="report counters absent from the baseline without failing "
+        "(for changes that add instrumentation before the baseline refresh)",
     )
     args = parser.parse_args()
 
@@ -155,8 +171,12 @@ def main():
             continue
         baseline = load_report(baseline_path)
 
+        notes = []
         problems = diff_counters(
-            baseline.get("counters", {}), filtered_counters(report, skip_prefixes)
+            baseline.get("counters", {}),
+            filtered_counters(report, skip_prefixes),
+            notes,
+            allow_new=args.allow_new_counters,
         )
         if report.get("checks_failed", 0):
             problems.append(f"{report['checks_failed']} shape check(s) failed")
@@ -175,6 +195,8 @@ def main():
         else:
             n = len(filtered_counters(report, skip_prefixes))
             print(f"OK   {bench}: {n} counters match (wall {wall:.2f}s)")
+        for note in notes:
+            print(f"     {note}")
 
     skipped = ", ".join(skip_prefixes) or "none"
     clean = len(report_names) - failures - missing

@@ -28,6 +28,9 @@
 // {debug,info,warn,error} sets the structured-log threshold (default
 // warn; JSON lines on stderr).
 //
+// --lp-backend {dense,sparse} selects the LP solver behind the decoder
+// (default sparse, the revised simplex; dense is the tableau oracle).
+//
 // Unknown or malformed flags are rejected: each subcommand declares the
 // flags it accepts, and anything else prints usage and exits non-zero.
 
@@ -54,6 +57,7 @@
 #include "pso/game.h"
 #include "pso/mechanisms.h"
 #include "recon/attacks.h"
+#include "solver/lp_backend.h"
 #include "tools/flags.h"
 
 namespace pso::tools {
@@ -81,6 +85,7 @@ const std::vector<FlagSpec> kCommonFlags = {
     {"metrics", FlagSpec::Type::kBool},
     {"trace", FlagSpec::Type::kString},
     {"log-level", FlagSpec::Type::kString},
+    {"lp-backend", FlagSpec::Type::kString},
 };
 
 // The full flag table for `command`; empty for an unknown command.
@@ -398,6 +403,14 @@ int Main(int argc, char** argv) {
       return Usage();
     }
     log::SetMinLevel(level);
+  }
+  const std::string lp_backend = flags.GetString("lp-backend", "");
+  if (!lp_backend.empty()) {
+    Status set = SetDefaultLpBackend(lp_backend);
+    if (!set.ok()) {
+      std::fprintf(stderr, "psoctl: %s\n", set.ToString().c_str());
+      return Usage();
+    }
   }
   const std::string trace_path = flags.GetString("trace", "");
   if (!trace_path.empty()) {
