@@ -5,8 +5,20 @@
 // tabulation (the post-2020 posture) collapses the attack. Rows: the same
 // statistics the Bureau reported — blocks solved exactly, persons
 // reconstructed, putative and confirmed re-identifications.
+//
+// A second "SAT backend duel" leg pits the DPLL baseline against the CDCL
+// engine on the same census encodings, in the style of bench_recon_lp's
+// LP backend duel. The duel set mixes exact-table blocks (both backends
+// solve them by propagation) with noise-perturbed infeasible blocks whose
+// tables demand more persons in one age bucket than the sex-by-age rows
+// can supply. Refuting those requires learning from conflicts: CDCL
+// derives the contradiction in a few thousand decisions while
+// chronological DPLL wanders until its decision budget runs out. The
+// duel's shape checks are the performance contract of the CDCL engine.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
@@ -21,6 +33,97 @@ struct PipelineOutcome {
   ReconstructionReport recon;
   ReidentificationReport reid;
 };
+
+// Shared decision budget for every duel block. CDCL refutes the largest
+// perturbed block in ~7.5k decisions (deterministic), so 10k is safe
+// headroom; DPLL burns the full budget on every perturbed block.
+constexpr size_t kDuelBudget = 10000;
+constexpr size_t kDuelPerturbedSizes[] = {4, 5, 6};
+
+// Makes exact tables infeasible under noise_slack = 1: move one person of
+// age-count mass from each of `delta` distinct source ages into the middle
+// age of an empty five-year bucket. The receiving by_age cell then demands
+// at least delta - slack persons, but the untouched by_sex_age_bucket rows
+// cap that bucket at 2 * slack — a contradiction spread across cardinality
+// constraints that only conflict analysis localizes quickly.
+bool PerturbOverloadedBucket(BlockTables& t, int64_t delta) {
+  t.noise_slack = 1;
+  int target_bucket = -1;
+  for (int bkt = 0; bkt < static_cast<int>(kAgeBuckets); ++bkt) {
+    int64_t in_bucket = 0;
+    for (int a = bkt * 5; a < bkt * 5 + 5; ++a) in_bucket += t.by_age[a];
+    if (in_bucket == 0) {
+      target_bucket = bkt;
+      break;
+    }
+  }
+  if (target_bucket < 0) return false;
+  const int target = target_bucket * 5 + 2;
+  int64_t moved = 0;
+  for (int a = 0; a <= kMaxAge && moved < delta; ++a) {
+    if (a / 5 == target_bucket) continue;
+    if (t.by_age[a] > 0) {
+      t.by_age[a] -= 1;
+      t.by_age[target] += 1;
+      ++moved;
+    }
+  }
+  return moved == delta;
+}
+
+// Per-block duel outcome: decided SAT, decided UNSAT, or budget exhausted.
+enum class DuelOutcome { kSat, kUnsat, kExhausted, kError };
+
+struct SatDuelLeg {
+  std::vector<DuelOutcome> outcomes;
+  std::vector<size_t> block_decisions;
+  size_t solved = 0;     // blocks decided (either way) within the budget
+  size_t exhausted = 0;  // blocks where the decision budget ran out
+  size_t decisions = 0;  // aggregate, including budget spent when exhausted
+  size_t conflicts = 0;
+  double wall_seconds = 0.0;
+};
+
+SatDuelLeg RunSatDuelLeg(const std::string& backend,
+                         const std::vector<BlockTables>& duel_tables) {
+  SatDuelLeg leg;
+  bench::WallTimer timer;
+  for (const BlockTables& t : duel_tables) {
+    auto r = ReconstructBlockSat(t, kDuelBudget, backend);
+    if (!r.ok()) {
+      leg.outcomes.push_back(DuelOutcome::kError);
+      leg.block_decisions.push_back(0);
+      continue;
+    }
+    if (r->budget_exhausted) {
+      leg.outcomes.push_back(DuelOutcome::kExhausted);
+      ++leg.exhausted;
+    } else {
+      leg.outcomes.push_back(r->satisfiable ? DuelOutcome::kSat
+                                            : DuelOutcome::kUnsat);
+      ++leg.solved;
+    }
+    leg.block_decisions.push_back(r->decisions);
+    leg.decisions += r->decisions;
+    leg.conflicts += r->conflicts;
+  }
+  leg.wall_seconds = timer.Seconds();
+  return leg;
+}
+
+const char* OutcomeName(DuelOutcome o) {
+  switch (o) {
+    case DuelOutcome::kSat:
+      return "SAT";
+    case DuelOutcome::kUnsat:
+      return "UNSAT";
+    case DuelOutcome::kExhausted:
+      return "exhausted";
+    case DuelOutcome::kError:
+      return "error";
+  }
+  return "?";
+}
 
 PipelineOutcome RunPipeline(const Population& pop,
                             const std::vector<BlockTables>& tables,
@@ -114,26 +217,91 @@ int Run(int argc, char** argv) {
   }
   table.Print();
 
-  // Solver cross-validation: the SAT back-end (DPLL + sequential-counter
-  // cardinality encodings) must agree with the CSP engine blockwise.
+  // Solver cross-validation: both SAT back-ends (DPLL and CDCL, over the
+  // same sequential-counter cardinality encodings) must agree with the CSP
+  // engine blockwise.
   size_t sat_checked = 0;
   size_t sat_agree = 0;
-  for (size_t b = 0; b < std::min<size_t>(pop.blocks.size(), 40); ++b) {
-    auto sat = ReconstructBlockSat(exact[b], /*max_decisions=*/500000);
-    if (!sat.ok()) continue;
-    ++sat_checked;
-    // Agreement = SAT finds a solution exactly when CSP did, and its
-    // solution satisfies the same exact tables (checked inside the test
-    // suite; here: satisfiability + size).
-    if (sat->satisfiable &&
-        sat->reconstructed.size() == pop.blocks[b].persons.size()) {
-      ++sat_agree;
+  for (const std::string& backend : {std::string("dpll"),
+                                     std::string("cdcl")}) {
+    for (size_t b = 0; b < std::min<size_t>(pop.blocks.size(), 40); ++b) {
+      auto sat = ReconstructBlockSat(exact[b], /*max_decisions=*/500000,
+                                     backend);
+      if (!sat.ok()) continue;
+      ++sat_checked;
+      // Agreement = SAT finds a solution exactly when CSP did, and its
+      // solution satisfies the same exact tables (checked inside the test
+      // suite; here: satisfiability + size).
+      if (sat->satisfiable &&
+          sat->reconstructed.size() == pop.blocks[b].persons.size()) {
+        ++sat_agree;
+      }
     }
   }
   std::printf(
-      "\nSAT back-end cross-check: %zu/%zu blocks reconstructed "
-      "consistently by the DPLL + cardinality-encoding pipeline.\n",
+      "\nSAT back-end cross-check: %zu/%zu block solves reconstructed "
+      "consistently by the cardinality-encoding pipeline (dpll + cdcl).\n",
       sat_agree, sat_checked);
+
+  // ---- SAT backend duel: chronological DPLL vs conflict-driven CDCL. ----
+  // Duel set: a handful of exact-table blocks (propagation-complete, both
+  // backends decide them in a few decisions) plus one perturbed infeasible
+  // block per escalating size. Same decision budget for every block and
+  // both backends.
+  std::vector<BlockTables> duel_tables;
+  std::vector<std::string> duel_labels;
+  for (size_t b = 0; b < std::min<size_t>(pop.blocks.size(), 4); ++b) {
+    duel_tables.push_back(exact[b]);
+    duel_labels.push_back(
+        StrFormat("exact block %zu (%zu persons)", b,
+                  pop.blocks[b].persons.size()));
+  }
+  for (size_t size : kDuelPerturbedSizes) {
+    PopulationOptions single;
+    single.num_blocks = 1;
+    single.min_block_size = size;
+    single.max_block_size = size;
+    Rng duel_rng(0x2021);
+    Population one = GeneratePopulation(single, duel_rng);
+    BlockTables t = Tabulate(one.blocks[0]);
+    if (!PerturbOverloadedBucket(t, /*delta=*/4)) continue;
+    duel_tables.push_back(t);
+    duel_labels.push_back(
+        StrFormat("perturbed block (%zu persons, infeasible)", size));
+  }
+  SatDuelLeg dpll = RunSatDuelLeg("dpll", duel_tables);
+  SatDuelLeg cdcl = RunSatDuelLeg("cdcl", duel_tables);
+
+  std::printf("\n-- SAT backend duel (decision budget %zu per block) --\n",
+              kDuelBudget);
+  TextTable duel({"block", "dpll", "dpll dec", "cdcl", "cdcl dec"});
+  bool duel_status_agrees = true;
+  size_t dpll_solved_cdcl_too = 0;
+  for (size_t i = 0; i < duel_tables.size(); ++i) {
+    duel.AddRow({duel_labels[i], OutcomeName(dpll.outcomes[i]),
+                 StrFormat("%zu", dpll.block_decisions[i]),
+                 OutcomeName(cdcl.outcomes[i]),
+                 StrFormat("%zu", cdcl.block_decisions[i])});
+    const bool dpll_decided = dpll.outcomes[i] == DuelOutcome::kSat ||
+                              dpll.outcomes[i] == DuelOutcome::kUnsat;
+    const bool cdcl_decided = cdcl.outcomes[i] == DuelOutcome::kSat ||
+                              cdcl.outcomes[i] == DuelOutcome::kUnsat;
+    if (dpll_decided && cdcl_decided &&
+        dpll.outcomes[i] != cdcl.outcomes[i]) {
+      duel_status_agrees = false;
+    }
+    if (dpll_decided && cdcl_decided) ++dpll_solved_cdcl_too;
+  }
+  duel.AddRow({"aggregate",
+               StrFormat("%zu/%zu solved", dpll.solved, duel_tables.size()),
+               StrFormat("%zu", dpll.decisions),
+               StrFormat("%zu/%zu solved", cdcl.solved, duel_tables.size()),
+               StrFormat("%zu", cdcl.decisions)});
+  duel.Print();
+  std::printf(
+      "duel wall clock: dpll %.2fs (%zu conflicts), cdcl %.2fs "
+      "(%zu conflicts)\n",
+      dpll.wall_seconds, dpll.conflicts, cdcl.wall_seconds, cdcl.conflicts);
 
   bench::ReportSpeedup("census reconstruction + linkage, 150 blocks",
                        serial_s, parallel_s, par.threads);
@@ -160,8 +328,20 @@ int Run(int argc, char** argv) {
   checks.CheckGreater(dp_confirmed[0] + 0.02, dp_confirmed[1],
                       "looser eps leaks at least as much as tighter eps");
   checks.Check(sat_checked > 0 && sat_agree == sat_checked,
-               "SAT back-end agrees with the CSP engine on every checked "
-               "block");
+               "both SAT back-ends agree with the CSP engine on every "
+               "checked block");
+  checks.Check(cdcl.exhausted == 0,
+               "CDCL decides every duel block within the budget");
+  checks.CheckGreater(static_cast<double>(dpll.exhausted), 0.5,
+                      "DPLL exhausts its decision budget on at least one "
+                      "duel block size");
+  checks.Check(dpll_solved_cdcl_too == dpll.solved,
+               "CDCL solves every duel block the DPLL baseline solves");
+  checks.CheckGreater(static_cast<double>(dpll.decisions),
+                      static_cast<double>(cdcl.decisions),
+                      "CDCL spends strictly fewer decisions in aggregate");
+  checks.Check(duel_status_agrees,
+               "backends agree on satisfiability wherever both decide");
   return bench::FinishBench(ctx, "E9", checks, par.get());
 }
 

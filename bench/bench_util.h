@@ -29,6 +29,7 @@
 #include "common/str_util.h"
 #include "common/trace.h"
 #include "solver/lp_backend.h"
+#include "solver/sat_backend.h"
 #include "tools/flags.h"
 
 namespace pso::bench {
@@ -145,16 +146,18 @@ struct BenchContext {
   std::string bench_name;  ///< Binary name, e.g. "bench_recon_lp".
   std::string json_path;   ///< Empty when --json was not given.
   std::string trace_path;  ///< Empty when --trace was not given.
-  size_t threads = 1;      ///< Resolved --threads value.
-  std::string lp_backend;  ///< Resolved --lp-backend (process default).
-  WallTimer timer;         ///< Wall clock for the whole run.
+  size_t threads = 1;       ///< Resolved --threads value.
+  std::string lp_backend;   ///< Resolved --lp-backend (process default).
+  std::string sat_backend;  ///< Resolved --sat-backend (process default).
+  WallTimer timer;          ///< Wall clock for the whole run.
 };
 
 /// Parses the standard harness flags (--json <path>, --threads N,
 /// --trace <path>, --log-level {debug,info,warn,error},
-/// --lp-backend {dense,sparse}), starts the run stopwatch, and — when
-/// --trace was given — enables the global trace collector. Unknown or
-/// malformed flags print usage to stderr and exit non-zero.
+/// --lp-backend {dense,sparse}, --sat-backend {dpll,cdcl}), starts the
+/// run stopwatch, and — when --trace was given — enables the global trace
+/// collector. Unknown or malformed flags print usage to stderr and exit
+/// non-zero.
 inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
                                      char** argv) {
   tools::Flags flags(argc, argv);
@@ -164,6 +167,7 @@ inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
       {"trace", tools::FlagSpec::Type::kString},
       {"log-level", tools::FlagSpec::Type::kString},
       {"lp-backend", tools::FlagSpec::Type::kString},
+      {"sat-backend", tools::FlagSpec::Type::kString},
   };
   std::vector<std::string> errors;
   tools::ValidateFlags(flags, specs, &errors);
@@ -181,13 +185,22 @@ inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
     std::fprintf(stderr,
                  "usage: %s [--json FILE] [--threads N] [--trace FILE] "
                  "[--log-level debug|info|warn|error] "
-                 "[--lp-backend dense|sparse]\n",
+                 "[--lp-backend dense|sparse] [--sat-backend dpll|cdcl]\n",
                  bench_name.c_str());
     std::exit(2);
   }
   const std::string backend = flags.GetString("lp-backend", "");
   if (!backend.empty()) {
     Status set = SetDefaultLpBackend(backend);
+    if (!set.ok()) {
+      std::fprintf(stderr, "%s: %s\n", bench_name.c_str(),
+                   set.ToString().c_str());
+      std::exit(2);
+    }
+  }
+  const std::string sat_backend = flags.GetString("sat-backend", "");
+  if (!sat_backend.empty()) {
+    Status set = SetDefaultSatBackend(sat_backend);
     if (!set.ok()) {
       std::fprintf(stderr, "%s: %s\n", bench_name.c_str(),
                    set.ToString().c_str());
@@ -212,6 +225,7 @@ inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
   ctx.trace_path = flags.GetString("trace", "");
   ctx.threads = flags.GetThreads();
   ctx.lp_backend = DefaultLpBackendName();
+  ctx.sat_backend = DefaultSatBackendName();
   if (!ctx.trace_path.empty()) {
     trace::Collector::Global().Enable();
     // Remembered so an aborting PSO_CHECK still flushes a partial trace.

@@ -2,13 +2,54 @@
 //
 // Any byte string must either parse or fail with a Status — never crash.
 // Accepted formulas must round-trip through ToDimacs and, when small,
-// solve; a reported model must actually satisfy the formula.
+// solve on BOTH registered backends: each SAT verdict must come with a
+// genuine model, and the backends must agree on satisfiability whenever
+// both decide within budget.
 
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "solver/dimacs.h"
+#include "solver/sat_backend.h"
+
+namespace {
+
+// -1 = UNSAT, 1 = SAT, 0 = undecided (budget or error).
+int SolveOn(const char* backend, const pso::DimacsCnf& cnf) {
+  pso::SatSolver solver = pso::BuildSatSolver(cnf);
+  if (!solver.build_status().ok()) std::abort();
+  pso::Result<std::unique_ptr<pso::SatBackend>> engine =
+      pso::MakeSatBackend(backend);
+  if (!engine.ok()) std::abort();
+  pso::SatSolveOptions options;
+  options.max_decisions = 20000;
+  pso::Result<pso::SatSolution> sol = solver.SolveWith(**engine, options);
+  if (!sol.ok()) {
+    // The only acceptable failure on a well-formed formula is running
+    // out of the decision budget.
+    if (sol.status().code() != pso::StatusCode::kResourceExhausted) {
+      std::abort();
+    }
+    return 0;
+  }
+  if (sol->satisfiable) {
+    for (const std::vector<pso::Lit>& clause : cnf.clauses) {
+      bool sat = false;
+      for (pso::Lit l : clause) {
+        if (sol->assignment[pso::LitVar(l)] == pso::LitPositive(l)) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) std::abort();
+    }
+  }
+  return sol->satisfiable ? 1 : -1;
+}
+
+}  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   std::string text(reinterpret_cast<const char*>(data), size);
@@ -23,24 +64,11 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     std::abort();
   }
 
-  // Small formulas: the solver must accept them, and a SAT verdict must
-  // come with a genuine model.
+  // Small formulas: differential solve across the backend registry.
   if (parsed->num_vars <= 24 && parsed->clauses.size() <= 64) {
-    pso::SatSolver solver = pso::BuildSatSolver(*parsed);
-    if (!solver.build_status().ok()) std::abort();
-    pso::Result<pso::SatSolution> sol = solver.Solve(/*max_decisions=*/20000);
-    if (sol.ok() && sol->satisfiable) {
-      for (const std::vector<pso::Lit>& clause : parsed->clauses) {
-        bool sat = false;
-        for (pso::Lit l : clause) {
-          if (sol->assignment[pso::LitVar(l)] == pso::LitPositive(l)) {
-            sat = true;
-            break;
-          }
-        }
-        if (!sat) std::abort();
-      }
-    }
+    int dpll = SolveOn("dpll", *parsed);
+    int cdcl = SolveOn("cdcl", *parsed);
+    if (dpll != 0 && cdcl != 0 && dpll != cdcl) std::abort();
   }
   return 0;
 }

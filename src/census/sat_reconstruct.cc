@@ -1,9 +1,11 @@
 #include "census/sat_reconstruct.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/trace.h"
 #include "solver/sat.h"
 
@@ -33,7 +35,8 @@ std::vector<size_t> FeasibleValues(const BlockTables& t) {
 }  // namespace
 
 Result<SatReconstruction> ReconstructBlockSat(const BlockTables& tables,
-                                              size_t max_decisions) {
+                                              size_t max_decisions,
+                                              const std::string& backend) {
   const size_t n = static_cast<size_t>(tables.total);
   trace::Span block_span("census.sat_block");
   if (block_span.active()) {
@@ -176,11 +179,30 @@ Result<SatReconstruction> ReconstructBlockSat(const BlockTables& tables,
         static_cast<int64_t>(n / 2 + 1));
   }
 
-  Result<SatSolution> solved = solver.Solve(max_decisions);
-  if (!solved.ok()) return solved.status();
+  Result<SatSolution> solved = [&]() -> Result<SatSolution> {
+    if (backend.empty()) return solver.Solve(max_decisions);
+    Result<std::unique_ptr<SatBackend>> engine = MakeSatBackend(backend);
+    if (!engine.ok()) return engine.status();
+    SatSolveOptions options;
+    options.max_decisions = max_decisions;
+    return solver.SolveWith(**engine, options);
+  }();
+  if (!solved.ok()) {
+    if (solved.status().code() == StatusCode::kResourceExhausted) {
+      // Budget ran out: a first-class outcome, not an error. The solver
+      // is healthy; the block just needs more decisions than allowed.
+      metrics::GetCounter("census.sat_budget_exhausted").Add(1);
+      out.budget_exhausted = true;
+      out.decisions = max_decisions;
+      out.variables = solver.num_vars();
+      return out;
+    }
+    return solved.status();
+  }
 
   out.satisfiable = solved->satisfiable;
   out.decisions = solved->decisions;
+  out.conflicts = solved->conflicts;
   out.variables = solver.num_vars();
   if (solved->satisfiable) {
     for (size_t p = 0; p < n; ++p) {

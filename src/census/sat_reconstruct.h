@@ -13,6 +13,7 @@
 #ifndef PSO_CENSUS_SAT_RECONSTRUCT_H_
 #define PSO_CENSUS_SAT_RECONSTRUCT_H_
 
+#include <string>
 #include <vector>
 
 #include "census/tabulator.h"
@@ -23,15 +24,25 @@ namespace pso::census {
 /// Outcome of the SAT reconstruction of one block.
 struct SatReconstruction {
   bool satisfiable = false;
+  /// The decision budget ran out before the solver reached an answer:
+  /// a first-class outcome (the block is neither SAT nor UNSAT as far as
+  /// this run can tell), not a solver failure. `satisfiable` is
+  /// meaningless when set and `reconstructed` is empty.
+  bool budget_exhausted = false;
   std::vector<Record> reconstructed;  ///< One consistent solution.
-  size_t decisions = 0;               ///< DPLL decisions used.
+  size_t decisions = 0;               ///< Solver decisions used.
+  size_t conflicts = 0;               ///< Conflicts hit during the search.
   size_t variables = 0;               ///< Total SAT variables (incl. aux).
 };
 
-/// Encodes `tables` as CNF and runs the DPLL solver. `max_decisions`
-/// bounds the search (0 = unlimited); exceeding it returns kInternal.
-[[nodiscard]] Result<SatReconstruction> ReconstructBlockSat(const BlockTables& tables,
-                                              size_t max_decisions = 0);
+/// Encodes `tables` as CNF and solves it. `max_decisions` bounds the
+/// search (0 = unlimited); when it runs out the call still succeeds, with
+/// `budget_exhausted` set on the result. `backend` names a registered
+/// SatBackend ("dpll", "cdcl"); empty uses the process default
+/// (DefaultSatBackendName(), steered by --sat-backend).
+[[nodiscard]] Result<SatReconstruction> ReconstructBlockSat(
+    const BlockTables& tables, size_t max_decisions = 0,
+    const std::string& backend = "");
 
 }  // namespace pso::census
 

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Infeasible";
     case StatusCode::kUnbounded:
       return "Unbounded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

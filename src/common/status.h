@@ -21,6 +21,10 @@ enum class StatusCode {
   kInternal,
   kInfeasible,  ///< An optimization/search problem has no feasible solution.
   kUnbounded,   ///< An optimization problem's objective is unbounded.
+  /// A caller-imposed resource budget (decision limit, node cap) ran out
+  /// before the operation reached an answer. Distinct from kInternal: the
+  /// solver is healthy, the budget was just too small.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -73,6 +77,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Unbounded(std::string msg) {
     return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -133,12 +133,16 @@ Result<DimacsCnf> ParseDimacsCnf(const std::string& text) {
       clause.clear();
       continue;
     }
-    int64_t var = lit < 0 ? -lit : lit;
-    if (var > declared_vars) {
+    // Range-check before negating: the token -9223372036854775808 parses
+    // to INT64_MIN, whose negation overflows (UB). Any magnitude beyond
+    // the declared variable count is equally malformed, so reject on the
+    // raw value and only then form the absolute value.
+    if (lit < -declared_vars || lit > declared_vars) {
       return Status::InvalidArgument(StrFormat(
           "line %zu: literal %lld outside the %lld declared variables",
           scan.line(), (long long)lit, (long long)declared_vars));
     }
+    int64_t var = lit < 0 ? -lit : lit;
     clause.push_back(
         MakeLit(static_cast<uint32_t>(var - 1), /*positive=*/lit > 0));
   }

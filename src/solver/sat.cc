@@ -8,32 +8,25 @@
 #include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/trace.h"
+#include "solver/sat_internal.h"
 
 namespace pso {
 
-namespace {
+// ---------------------------------------------------------------------
+// SatSolver: the CNF builder and backend front-end.
+// ---------------------------------------------------------------------
 
-// Per-solve cap on decision/backtrack instants emitted into the trace
-// timeline; the step ring keeps recording past this.
-constexpr size_t kMaxSatInstants = 256;
-
-}  // namespace
-
-SatSolver::SatSolver(uint32_t num_vars)
-    : num_vars_(num_vars),
-      watchers_(2 * static_cast<size_t>(num_vars)),
-      values_(num_vars, Assign::kUnset),
-      activity_(num_vars, 0.0) {}
+SatSolver::SatSolver(uint32_t num_vars) { instance_.num_vars = num_vars; }
 
 void SatSolver::AddClause(std::vector<Lit> clause) {
   for (Lit l : clause) {
-    if (LitVar(l) >= num_vars_) {
+    if (LitVar(l) >= instance_.num_vars) {
       // Poison instead of abort: Solve() surfaces the error as a Status,
       // keeping the builder safe for untrusted (fuzzed/parsed) formulas.
       if (build_status_.ok()) {
         build_status_ = Status::InvalidArgument(
             StrFormat("clause %zu references undeclared variable %u",
-                      clauses_.size(), LitVar(l)));
+                      instance_.clauses.size(), LitVar(l)));
       }
       return;
     }
@@ -45,26 +38,13 @@ void SatSolver::AddClause(std::vector<Lit> clause) {
     if (LitNegate(clause[i]) == clause[i + 1]) return;  // tautology
   }
   if (clause.empty()) {
-    trivially_unsat_ = true;
+    instance_.trivially_unsat = true;
     return;
   }
-  size_t idx = clauses_.size();
-  for (Lit l : clause) {
-    // Occurrence list: clauses containing l, visited when ~l is assigned.
-    watchers_[l].push_back(idx);
-    activity_[LitVar(l)] += 1.0;
-  }
-  clauses_.push_back(std::move(clause));
+  instance_.clauses.push_back(std::move(clause));
 }
 
-uint32_t SatSolver::NewVariable() {
-  uint32_t v = num_vars_++;
-  values_.push_back(Assign::kUnset);
-  activity_.push_back(0.0);
-  watchers_.emplace_back();
-  watchers_.emplace_back();
-  return v;
-}
+uint32_t SatSolver::NewVariable() { return instance_.num_vars++; }
 
 void SatSolver::AddAtMostK(const std::vector<Lit>& lits, size_t k) {
   const size_t n = lits.size();
@@ -115,10 +95,47 @@ void SatSolver::AddAtLeastK(const std::vector<Lit>& lits, size_t k) {
     for (Lit l : lits) AddUnit(l);
     return;
   }
-  std::vector<Lit> negated;
-  negated.reserve(lits.size());
-  for (Lit l : lits) negated.push_back(LitNegate(l));
-  AddAtMostK(negated, lits.size() - k);
+  if (k == 1) {
+    AddClause(lits);
+    return;
+  }
+  // Direct sequential counter, O(|lits| * k). The dual route (at-most
+  // (n-k) over the negations) costs O(|lits| * (|lits| - k)) — quadratic
+  // when k is small and the literal set is census-row wide.
+  //
+  // t[i][j] = "at least j+1 of the first i+1 literals are true", with
+  // implications from t to its evidence so forcing t[n-1][k-1] true makes
+  // any under-count assignment contradictory.
+  const size_t n = lits.size();
+  std::vector<std::vector<uint32_t>> t(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    t[i].resize(std::min(i + 1, k));
+    for (size_t j = 0; j < t[i].size(); ++j) t[i][j] = NewVariable();
+  }
+  t[n - 1].resize(k);
+  for (size_t j = 0; j + 1 < k; ++j) t[n - 1][j] = 0;  // unused
+  t[n - 1][k - 1] = NewVariable();
+
+  // t[0][0] -> l_0.
+  AddBinary(MakeLit(t[0][0], false), lits[0]);
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < t[i].size(); ++j) {
+      if (i + 1 == n && j + 1 < k) continue;  // only the root is needed
+      Lit tij = MakeLit(t[i][j], false);  // ~t[i][j]
+      if (j == i) {
+        // All of the first i+1 literals are true.
+        AddBinary(tij, lits[i]);
+        AddBinary(tij, MakeLit(t[i - 1][j - 1], true));
+        continue;
+      }
+      // t[i][j] -> t[i-1][j] or (l_i and t[i-1][j-1]).
+      AddTernary(tij, MakeLit(t[i - 1][j], true), lits[i]);
+      if (j == 0) continue;  // "at least 1 among fewer" needs no j-1 arm
+      AddTernary(tij, MakeLit(t[i - 1][j], true),
+                 MakeLit(t[i - 1][j - 1], true));
+    }
+  }
+  AddUnit(MakeLit(t[n - 1][k - 1], true));
 }
 
 void SatSolver::AddExactlyK(const std::vector<Lit>& lits, size_t k) {
@@ -127,6 +144,14 @@ void SatSolver::AddExactlyK(const std::vector<Lit>& lits, size_t k) {
 }
 
 void SatSolver::AddAtMostOne(const std::vector<Lit>& lits) {
+  // Pairwise is propagation-strongest but quadratic in clauses; past a
+  // small cutoff the sequential counter's O(n) auxiliaries win (the
+  // census encoding hands us candidate rows thousands of literals wide).
+  constexpr size_t kPairwiseCutoff = 16;
+  if (lits.size() > kPairwiseCutoff) {
+    AddAtMostK(lits, 1);
+    return;
+  }
   for (size_t i = 0; i < lits.size(); ++i) {
     for (size_t j = i + 1; j < lits.size(); ++j) {
       AddBinary(LitNegate(lits[i]), LitNegate(lits[j]));
@@ -139,211 +164,269 @@ void SatSolver::AddExactlyOne(const std::vector<Lit>& lits) {
   AddAtMostOne(lits);
 }
 
-bool SatSolver::LitIsTrue(Lit l) const {
-  Assign v = values_[LitVar(l)];
-  if (v == Assign::kUnset) return false;
-  return (v == Assign::kTrue) == LitPositive(l);
+Result<SatSolution> SatSolver::Solve(size_t max_decisions) const {
+  Result<std::unique_ptr<SatBackend>> backend =
+      MakeSatBackend(DefaultSatBackendName());
+  if (!backend.ok()) return backend.status();
+  SatSolveOptions options;
+  options.max_decisions = max_decisions;
+  return SolveWith(**backend, options);
 }
 
-bool SatSolver::LitIsFalse(Lit l) const {
-  Assign v = values_[LitVar(l)];
-  if (v == Assign::kUnset) return false;
-  return (v == Assign::kTrue) != LitPositive(l);
-}
-
-bool SatSolver::Enqueue(Lit l, std::vector<Lit>& trail) {
-  if (LitIsTrue(l)) return true;
-  if (LitIsFalse(l)) return false;
-  values_[LitVar(l)] = LitPositive(l) ? Assign::kTrue : Assign::kFalse;
-  trail.push_back(l);
-
-  // BFS unit propagation from the newly assigned literal.
-  for (size_t head = trail.size() - 1; head < trail.size(); ++head) {
-    Lit assigned = trail[head];
-    Lit falsified = LitNegate(assigned);
-    for (size_t ci : watchers_[falsified]) {
-      const std::vector<Lit>& clause = clauses_[ci];
-      Lit unit = 0;
-      size_t unassigned = 0;
-      bool satisfied = false;
-      for (Lit cl : clause) {
-        if (LitIsTrue(cl)) {
-          satisfied = true;
-          break;
-        }
-        if (!LitIsFalse(cl)) {
-          ++unassigned;
-          unit = cl;
-          if (unassigned > 1) break;
-        }
-      }
-      if (satisfied || unassigned > 1) continue;
-      if (unassigned == 0) return false;  // conflict
-      ++propagations_;
-      values_[LitVar(unit)] =
-          LitPositive(unit) ? Assign::kTrue : Assign::kFalse;
-      trail.push_back(unit);
-      if (step_ring_ != nullptr) {
-        step_ring_->Push(SatStep{SatStep::Kind::kPropagation, LitVar(unit),
-                                 LitPositive(unit), trail.size()});
-      }
-    }
-  }
-  return true;
-}
-
-void SatSolver::Unwind(std::vector<Lit>& trail, size_t keep) {
-  while (trail.size() > keep) {
-    values_[LitVar(trail.back())] = Assign::kUnset;
-    trail.pop_back();
-  }
-}
-
-Result<SatSolution> SatSolver::Solve(size_t max_decisions) {
+Result<SatSolution> SatSolver::SolveWith(const SatBackend& backend,
+                                         const SatSolveOptions& options) const {
   if (!build_status_.ok()) return build_status_;
-  decisions_ = 0;
-  propagations_ = 0;
-  backtracks_ = 0;
-  std::fill(values_.begin(), values_.end(), Assign::kUnset);
+  return backend.Solve(instance_, options);
+}
 
-  // Introspection ring: created only while tracing is on. Enqueue sees it
-  // through step_ring_, which Publish resets on every exit path.
-  trace::Span solve_span("sat.solve");
-  std::unique_ptr<trace::RingBuffer<SatStep>> step_ring;
-  if (solve_span.active()) {
-    solve_span.Arg("vars", std::to_string(num_vars_));
-    solve_span.Arg("clauses", std::to_string(clauses_.size()));
-    step_ring =
-        std::make_unique<trace::RingBuffer<SatStep>>(kSatStepTraceCapacity);
-    step_ring_ = step_ring.get();
-  }
-  size_t instants_emitted = 0;
+// ---------------------------------------------------------------------
+// The "dpll" backend: chronological DPLL with occurrence-list unit
+// propagation and static activity-guided branching — the differential
+// oracle for the CDCL engine.
+// ---------------------------------------------------------------------
 
-  // Publish this solve's search statistics on every exit path. The totals
-  // are input-deterministic, so the registry's sums stay reproducible.
-  struct Publish {
-    SatSolver* solver;
-    metrics::ScopedSpan span{"sat.solve"};
-    ~Publish() {
-      metrics::GetCounter("sat.solves").Add(1);
-      metrics::GetCounter("sat.decisions").Add(solver->decisions_);
-      metrics::GetCounter("sat.propagations").Add(solver->propagations_);
-      metrics::GetCounter("sat.backtracks").Add(solver->backtracks_);
-      solver->step_ring_ = nullptr;
-    }
-  } publish{this};
+namespace {
 
-  // Attaches the retained steps to a finished solution.
-  auto attach_steps = [&](SatSolution& s) {
-    if (step_ring != nullptr) s.step_trace = step_ring->Drain();
-  };
+using sat_internal::Assign;
+using sat_internal::kMaxSatInstants;
 
-  SatSolution out;
-  if (trivially_unsat_) {
-    out.satisfiable = false;
-    attach_steps(out);
-    return out;
-  }
-
+// All per-solve search state; the backend object itself stays stateless.
+struct DpllSearch {
+  const SatInstance& inst;
+  std::vector<Assign> values;
+  // Occurrence list: clauses containing l, visited when ~l is assigned.
+  std::vector<std::vector<size_t>> occurrences;
+  std::vector<double> activity;
   std::vector<Lit> trail;
-  // Propagate initial unit clauses.
-  for (const auto& clause : clauses_) {
-    if (clause.size() == 1) {
-      if (!Enqueue(clause[0], trail)) {
-        out.satisfiable = false;
-        out.propagations = propagations_;
-        attach_steps(out);
-        return out;
+  sat_internal::SearchStats stats;
+  // Introspection sink: points at a Solve-local ring while tracing is
+  // enabled, null otherwise (Enqueue checks it on each propagation).
+  trace::RingBuffer<SatStep>* step_ring = nullptr;
+
+  explicit DpllSearch(const SatInstance& instance)
+      : inst(instance),
+        values(instance.num_vars, Assign::kUnset),
+        occurrences(2 * static_cast<size_t>(instance.num_vars)),
+        activity(instance.num_vars, 0.0) {
+    for (size_t ci = 0; ci < inst.clauses.size(); ++ci) {
+      for (Lit l : inst.clauses[ci]) {
+        occurrences[l].push_back(ci);
+        activity[LitVar(l)] += 1.0;
       }
     }
   }
 
-  // Iterative DPLL with an explicit decision stack.
-  struct Frame {
-    uint32_t var;
-    bool tried_second;
-    size_t trail_size;
-  };
-  std::vector<Frame> stack;
+  bool LitIsTrue(Lit l) const {
+    Assign v = values[LitVar(l)];
+    if (v == Assign::kUnset) return false;
+    return (v == Assign::kTrue) == LitPositive(l);
+  }
 
-  auto pick_branch_var = [&]() -> int64_t {
-    int64_t best = -1;
-    double best_act = -1.0;
-    for (uint32_t v = 0; v < num_vars_; ++v) {
-      if (values_[v] == Assign::kUnset && activity_[v] > best_act) {
-        best_act = activity_[v];
-        best = v;
+  bool LitIsFalse(Lit l) const {
+    Assign v = values[LitVar(l)];
+    if (v == Assign::kUnset) return false;
+    return (v == Assign::kTrue) != LitPositive(l);
+  }
+
+  // Assigns l true, propagates; returns false on conflict.
+  bool Enqueue(Lit l) {
+    if (LitIsTrue(l)) return true;
+    if (LitIsFalse(l)) {
+      ++stats.conflicts;
+      return false;
+    }
+    values[LitVar(l)] = LitPositive(l) ? Assign::kTrue : Assign::kFalse;
+    trail.push_back(l);
+
+    // BFS unit propagation from the newly assigned literal.
+    for (size_t head = trail.size() - 1; head < trail.size(); ++head) {
+      Lit assigned = trail[head];
+      Lit falsified = LitNegate(assigned);
+      for (size_t ci : occurrences[falsified]) {
+        const std::vector<Lit>& clause = inst.clauses[ci];
+        Lit unit = 0;
+        size_t unassigned = 0;
+        bool satisfied = false;
+        for (Lit cl : clause) {
+          if (LitIsTrue(cl)) {
+            satisfied = true;
+            break;
+          }
+          if (!LitIsFalse(cl)) {
+            ++unassigned;
+            unit = cl;
+            if (unassigned > 1) break;
+          }
+        }
+        if (satisfied || unassigned > 1) continue;
+        if (unassigned == 0) {
+          ++stats.conflicts;
+          return false;  // conflict
+        }
+        ++stats.propagations;
+        // trail_depth pre-push: the step ring records the trail length
+        // before the forced literal lands (see SatStep's convention).
+        if (step_ring != nullptr) {
+          step_ring->Push(SatStep{SatStep::Kind::kPropagation, LitVar(unit),
+                                  LitPositive(unit), trail.size()});
+        }
+        values[LitVar(unit)] =
+            LitPositive(unit) ? Assign::kTrue : Assign::kFalse;
+        trail.push_back(unit);
       }
     }
-    return best;
-  };
+    return true;
+  }
 
-  for (;;) {
-    int64_t v = pick_branch_var();
-    if (v < 0) {
-      // All variables assigned without conflict: satisfiable.
-      out.satisfiable = true;
-      out.assignment.resize(num_vars_);
-      for (uint32_t i = 0; i < num_vars_; ++i) {
-        out.assignment[i] = (values_[i] == Assign::kTrue);
-      }
-      out.decisions = decisions_;
-      out.propagations = propagations_;
-      out.backtracks = backtracks_;
-      attach_steps(out);
+  void Unwind(size_t keep) {
+    while (trail.size() > keep) {
+      values[LitVar(trail.back())] = Assign::kUnset;
+      trail.pop_back();
+    }
+  }
+};
+
+class DpllBackend final : public SatBackend {
+ public:
+  const char* name() const override { return "dpll"; }
+
+  Result<SatSolution> Solve(const SatInstance& inst,
+                            const SatSolveOptions& options) const override {
+    DpllSearch search(inst);
+
+    // Introspection ring: created only while tracing is on.
+    trace::Span solve_span("sat.solve");
+    std::unique_ptr<trace::RingBuffer<SatStep>> step_ring;
+    if (solve_span.active()) {
+      solve_span.Arg("backend", "dpll");
+      solve_span.Arg("vars", std::to_string(inst.num_vars));
+      solve_span.Arg("clauses", std::to_string(inst.clauses.size()));
+      step_ring =
+          std::make_unique<trace::RingBuffer<SatStep>>(kSatStepTraceCapacity);
+      search.step_ring = step_ring.get();
+    }
+    size_t instants_emitted = 0;
+
+    // Publish this solve's search statistics on every exit path.
+    sat_internal::MetricsPublisher publish{&search.stats, "sat.dpll.solves"};
+
+    // Attaches the retained steps to a finished solution.
+    auto attach = [&](SatSolution& s) {
+      search.stats.CopyTo(s);
+      if (step_ring != nullptr) s.step_trace = step_ring->Drain();
+    };
+
+    SatSolution out;
+    if (inst.trivially_unsat) {
+      out.satisfiable = false;
+      attach(out);
       return out;
     }
 
-    ++decisions_;
-    if (max_decisions > 0 && decisions_ > max_decisions) {
-      return Status::Internal("SAT decision limit exceeded");
-    }
-    if (step_ring_ != nullptr) {
-      step_ring_->Push(SatStep{SatStep::Kind::kDecision,
-                               static_cast<uint32_t>(v), true, trail.size()});
-      if (instants_emitted < kMaxSatInstants && trace::Enabled()) {
-        ++instants_emitted;
-        trace::Instant("sat.decision",
-                       {{"var", std::to_string(v)},
-                        {"depth", std::to_string(stack.size())}});
+    // Propagate initial unit clauses.
+    for (const auto& clause : inst.clauses) {
+      if (clause.size() == 1) {
+        if (!search.Enqueue(clause[0])) {
+          out.satisfiable = false;
+          attach(out);
+          return out;
+        }
       }
     }
 
-    stack.push_back(
-        Frame{static_cast<uint32_t>(v), false, trail.size()});
-    bool ok = Enqueue(MakeLit(static_cast<uint32_t>(v), true), trail);
+    // Iterative DPLL with an explicit decision stack.
+    struct Frame {
+      uint32_t var;
+      bool tried_second;
+      size_t trail_size;
+    };
+    std::vector<Frame> stack;
 
-    while (!ok) {
-      // Backtrack to the most recent frame with an untried phase.
-      while (!stack.empty() && stack.back().tried_second) {
-        Unwind(trail, stack.back().trail_size);
-        stack.pop_back();
+    auto pick_branch_var = [&]() -> int64_t {
+      int64_t best = -1;
+      double best_act = -1.0;
+      for (uint32_t v = 0; v < inst.num_vars; ++v) {
+        if (search.values[v] == Assign::kUnset &&
+            search.activity[v] > best_act) {
+          best_act = search.activity[v];
+          best = v;
+        }
       }
-      if (stack.empty()) {
-        out.satisfiable = false;
-        out.decisions = decisions_;
-        out.propagations = propagations_;
-        out.backtracks = backtracks_;
-        attach_steps(out);
+      return best;
+    };
+
+    for (;;) {
+      int64_t v = pick_branch_var();
+      if (v < 0) {
+        // All variables assigned without conflict: satisfiable.
+        out.satisfiable = true;
+        out.assignment.resize(inst.num_vars);
+        for (uint32_t i = 0; i < inst.num_vars; ++i) {
+          out.assignment[i] = (search.values[i] == Assign::kTrue);
+        }
+        attach(out);
         return out;
       }
-      Frame& frame = stack.back();
-      Unwind(trail, frame.trail_size);
-      frame.tried_second = true;
-      ++backtracks_;
-      if (step_ring_ != nullptr) {
-        step_ring_->Push(SatStep{SatStep::Kind::kBacktrack, frame.var, false,
-                                 trail.size()});
+
+      ++search.stats.decisions;
+      if (options.max_decisions > 0 &&
+          search.stats.decisions > options.max_decisions) {
+        return Status::ResourceExhausted(
+            StrFormat("SAT decision budget of %zu exceeded (dpll)",
+                      options.max_decisions));
+      }
+      if (search.step_ring != nullptr) {
+        search.step_ring->Push(SatStep{SatStep::Kind::kDecision,
+                                       static_cast<uint32_t>(v), true,
+                                       search.trail.size()});
         if (instants_emitted < kMaxSatInstants && trace::Enabled()) {
           ++instants_emitted;
-          trace::Instant("sat.backtrack",
-                         {{"var", std::to_string(frame.var)},
+          trace::Instant("sat.decision",
+                         {{"var", std::to_string(v)},
                           {"depth", std::to_string(stack.size())}});
         }
       }
-      ok = Enqueue(MakeLit(frame.var, false), trail);
+
+      stack.push_back(
+          Frame{static_cast<uint32_t>(v), false, search.trail.size()});
+      bool ok = search.Enqueue(MakeLit(static_cast<uint32_t>(v), true));
+
+      while (!ok) {
+        // Backtrack to the most recent frame with an untried phase.
+        while (!stack.empty() && stack.back().tried_second) {
+          search.Unwind(stack.back().trail_size);
+          stack.pop_back();
+        }
+        if (stack.empty()) {
+          out.satisfiable = false;
+          attach(out);
+          return out;
+        }
+        Frame& frame = stack.back();
+        search.Unwind(frame.trail_size);
+        frame.tried_second = true;
+        ++search.stats.backtracks;
+        if (search.step_ring != nullptr) {
+          search.step_ring->Push(SatStep{SatStep::Kind::kBacktrack,
+                                         frame.var, false,
+                                         search.trail.size()});
+          if (instants_emitted < kMaxSatInstants && trace::Enabled()) {
+            ++instants_emitted;
+            trace::Instant("sat.backtrack",
+                           {{"var", std::to_string(frame.var)},
+                            {"depth", std::to_string(stack.size())}});
+          }
+        }
+        ok = search.Enqueue(MakeLit(frame.var, false));
+      }
     }
   }
+};
+
+}  // namespace
+
+std::unique_ptr<SatBackend> MakeDpllSatBackend() {
+  return std::make_unique<DpllBackend>();
 }
 
 }  // namespace pso

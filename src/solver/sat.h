@@ -1,9 +1,15 @@
-// DPLL SAT solver (unit propagation via watched literals, activity-guided
-// branching). A self-contained substrate standing in for the external SAT
-// solvers the census-reconstruction literature links against.
+// CNF builder and SAT front-end. A self-contained substrate standing in
+// for the external SAT solvers the census-reconstruction literature links
+// against.
+//
+// SatSolver owns the *formula* — clauses, cardinality encodings,
+// auxiliary variables — and delegates the *search* to a pluggable
+// SatBackend (sat_backend.h): the chronological "dpll" oracle or the
+// conflict-driven "cdcl" engine, selected per call (SolveWith) or via the
+// process-wide default (Solve, steered by --sat-backend).
 //
 // Literal encoding: variable v in [0, num_vars), literal = 2*v for the
-// positive phase, 2*v+1 for the negated phase.
+// positive phase, 2*v+1 for the negated phase (see sat_backend.h).
 
 #ifndef PSO_SOLVER_SAT_H_
 #define PSO_SOLVER_SAT_H_
@@ -12,57 +18,11 @@
 #include <vector>
 
 #include "common/result.h"
+#include "solver/sat_backend.h"
 
 namespace pso {
 
-/// A literal (see file comment for the encoding).
-using Lit = uint32_t;
-
-/// Makes a literal for variable `var` with the given sign.
-inline Lit MakeLit(uint32_t var, bool positive) {
-  return (var << 1) | (positive ? 0u : 1u);
-}
-inline uint32_t LitVar(Lit l) { return l >> 1; }
-inline bool LitPositive(Lit l) { return (l & 1u) == 0; }
-inline Lit LitNegate(Lit l) { return l ^ 1u; }
-
-namespace trace {
-template <typename T>
-class RingBuffer;
-}  // namespace trace
-
-/// One step of the DPLL search, as recorded by the introspection trace.
-struct SatStep {
-  enum class Kind : uint8_t {
-    kDecision = 0,     ///< Branching decision (first phase: value true).
-    kPropagation = 1,  ///< Forced assignment from unit propagation.
-    kBacktrack = 2,    ///< Conflict-driven flip to the second phase.
-  };
-  Kind kind = Kind::kDecision;
-  uint32_t var = 0;        ///< Variable acted on.
-  bool value = false;      ///< Value assigned (false for a flip's target).
-  size_t trail_depth = 0;  ///< Assignment-trail depth when recorded.
-};
-
-/// Ring capacity of SatSolution::step_trace.
-inline constexpr size_t kSatStepTraceCapacity = 512;
-
-/// Result of a SAT solve.
-struct SatSolution {
-  bool satisfiable = false;
-  std::vector<bool> assignment;  ///< Per-variable value when satisfiable.
-  size_t decisions = 0;          ///< Branching decisions explored.
-  size_t propagations = 0;       ///< Unit propagations performed.
-  size_t backtracks = 0;         ///< Decision flips forced by conflicts.
-  /// Step-by-step audit trail of the search: the most recent
-  /// kSatStepTraceCapacity decision/propagation/backtrack steps (a
-  /// bounded ring). Collected only while tracing is enabled
-  /// (trace::Enabled()); empty otherwise, so the default path pays one
-  /// null check per step.
-  std::vector<SatStep> step_trace;
-};
-
-/// CNF formula and DPLL search.
+/// CNF formula builder and solve front-end.
 ///
 /// Malformed input (clause literals over undeclared variables,
 /// over-demanding cardinality constraints) does not abort: the first
@@ -71,14 +31,18 @@ struct SatSolution {
 /// builder freely and still hard-fail with a recoverable Status.
 class SatSolver {
  public:
-  /// Creates a solver over `num_vars` variables.
+  /// Creates a builder over `num_vars` variables.
   explicit SatSolver(uint32_t num_vars);
 
-  uint32_t num_vars() const { return num_vars_; }
+  uint32_t num_vars() const { return instance_.num_vars; }
 
   /// OK unless a builder call above was handed a malformed clause or
   /// cardinality constraint; then the first violation, as InvalidArgument.
   const Status& build_status() const { return build_status_; }
+
+  /// The formula built so far, in the plain-data form every backend
+  /// consumes. Clauses are sorted, duplicate-free and tautology-free.
+  const SatInstance& instance() const { return instance_; }
 
   /// Adds a fresh variable (for encodings needing auxiliaries, e.g. the
   /// sequential-counter cardinality constraints) and returns its index.
@@ -111,32 +75,18 @@ class SatSolver {
   /// "Exactly k of `lits` are true".
   void AddExactlyK(const std::vector<Lit>& lits, size_t k);
 
-  /// Runs DPLL. `max_decisions` bounds the search (0 = unlimited);
-  /// exceeding it returns an Internal error.
-  [[nodiscard]] Result<SatSolution> Solve(size_t max_decisions = 0);
+  /// Solves on the process-default backend (DefaultSatBackendName()).
+  /// `max_decisions` bounds the search (0 = unlimited); exceeding it
+  /// returns kResourceExhausted.
+  [[nodiscard]] Result<SatSolution> Solve(size_t max_decisions = 0) const;
+
+  /// Solves on an explicit backend (the per-call form of Solve).
+  [[nodiscard]] Result<SatSolution> SolveWith(
+      const SatBackend& backend, const SatSolveOptions& options) const;
 
  private:
-  enum class Assign : int8_t { kUnset = -1, kFalse = 0, kTrue = 1 };
-
-  bool LitIsTrue(Lit l) const;
-  bool LitIsFalse(Lit l) const;
-  // Assigns l true, propagates; returns false on conflict.
-  bool Enqueue(Lit l, std::vector<Lit>& trail);
-  void Unwind(std::vector<Lit>& trail, size_t keep);
-
-  uint32_t num_vars_;
+  SatInstance instance_;
   Status build_status_;
-  bool trivially_unsat_ = false;
-  std::vector<std::vector<Lit>> clauses_;
-  std::vector<std::vector<size_t>> watchers_;  // literal -> clause indices
-  std::vector<Assign> values_;
-  std::vector<double> activity_;
-  size_t decisions_ = 0;
-  size_t propagations_ = 0;
-  size_t backtracks_ = 0;
-  // Introspection sink: points at a Solve-local ring while tracing is
-  // enabled, null otherwise (Enqueue checks it on each propagation).
-  trace::RingBuffer<SatStep>* step_ring_ = nullptr;
 };
 
 }  // namespace pso

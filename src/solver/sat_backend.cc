@@ -1,0 +1,106 @@
+#include "solver/sat_backend.h"
+
+#include "common/mutex.h"
+#include "common/str_util.h"
+#include "common/thread_annotations.h"
+
+namespace pso {
+
+namespace {
+
+// Registry state behind one mutex. Function-local statics sidestep
+// static-initialization-order hazards; the built-ins are materialized on
+// first touch so a registry query never observes an empty table.
+struct RegistryEntry {
+  std::string name;
+  SatBackendFactory factory;
+};
+
+Mutex& RegistryMu() {
+  static Mutex mu;
+  return mu;
+}
+
+std::vector<RegistryEntry>& Entries() PSO_REQUIRES(RegistryMu()) {
+  static std::vector<RegistryEntry> entries = {
+      {"dpll", &MakeDpllSatBackend},
+      {"cdcl", &MakeCdclSatBackend},
+  };
+  return entries;
+}
+
+std::string& DefaultName() PSO_REQUIRES(RegistryMu()) {
+  // CDCL is the census-scale engine; "dpll" stays available as the
+  // differential oracle (and via --sat-backend=dpll).
+  static std::string name = "cdcl";
+  return name;
+}
+
+// Latest registration wins: scan back-to-front.
+SatBackendFactory FindFactory(const std::string& name)
+    PSO_REQUIRES(RegistryMu()) {
+  const std::vector<RegistryEntry>& entries = Entries();
+  for (size_t i = entries.size(); i > 0; --i) {
+    if (entries[i - 1].name == name) return entries[i - 1].factory;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void RegisterSatBackend(const std::string& name, SatBackendFactory factory) {
+  MutexLock lock(RegistryMu());
+  Entries().push_back(RegistryEntry{name, factory});
+}
+
+Result<std::unique_ptr<SatBackend>> MakeSatBackend(const std::string& name) {
+  SatBackendFactory factory = nullptr;
+  {
+    MutexLock lock(RegistryMu());
+    factory = FindFactory(name);
+  }
+  if (factory == nullptr) {
+    std::string known;
+    for (const std::string& n : SatBackendNames()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::InvalidArgument(StrFormat(
+        "unknown SAT backend '%s' (registered: %s)", name.c_str(),
+        known.c_str()));
+  }
+  return factory();
+}
+
+std::vector<std::string> SatBackendNames() {
+  MutexLock lock(RegistryMu());
+  std::vector<std::string> names;
+  for (const RegistryEntry& e : Entries()) {
+    bool shadowed = false;
+    for (const std::string& seen : names) {
+      if (seen == e.name) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) names.push_back(e.name);
+  }
+  return names;
+}
+
+std::string DefaultSatBackendName() {
+  MutexLock lock(RegistryMu());
+  return DefaultName();
+}
+
+Status SetDefaultSatBackend(const std::string& name) {
+  MutexLock lock(RegistryMu());
+  if (FindFactory(name) == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unknown SAT backend '%s'", name.c_str()));
+  }
+  DefaultName() = name;
+  return Status::Ok();
+}
+
+}  // namespace pso

@@ -1,0 +1,152 @@
+// Pluggable SAT solver backends.
+//
+// The census reconstruction's SAT leg (and any DIMACS instance fed to the
+// repo) is solved through a swappable engine: every backend consumes the
+// same plain-data SatInstance and produces the same SatSolution / Status
+// contract, and a process-wide registry selects the default at runtime
+// (`--sat-backend=dpll|cdcl` on psoctl and the benches). The original
+// chronological DPLL survives as the "dpll" backend — the differential
+// oracle for the CDCL engine — and any future external solver slots in
+// through RegisterSatBackend without touching call sites. The design
+// mirrors the LP layer's LpBackend (lp_backend.h) exactly.
+//
+// Literal encoding: variable v in [0, num_vars), literal = 2*v for the
+// positive phase, 2*v+1 for the negated phase.
+
+#ifndef PSO_SOLVER_SAT_BACKEND_H_
+#define PSO_SOLVER_SAT_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pso {
+
+/// A literal (see file comment for the encoding).
+using Lit = uint32_t;
+
+/// Makes a literal for variable `var` with the given sign.
+inline Lit MakeLit(uint32_t var, bool positive) {
+  return (var << 1) | (positive ? 0u : 1u);
+}
+inline uint32_t LitVar(Lit l) { return l >> 1; }
+inline bool LitPositive(Lit l) { return (l & 1u) == 0; }
+inline Lit LitNegate(Lit l) { return l ^ 1u; }
+
+/// One step of a SAT search, as recorded by the introspection trace.
+///
+/// `trail_depth` convention (all backends, all step kinds): the number of
+/// assignments on the trail immediately BEFORE this step's own assignment
+/// lands. A decision records the trail length at the moment of branching;
+/// a propagation records the length before its forced literal is pushed;
+/// a backtrack/backjump records the length after unwinding — i.e. the
+/// depth the search resumes from before re-assigning. Pinned by
+/// trace_test's SatStepTrailDepthConvention.
+struct SatStep {
+  enum class Kind : uint8_t {
+    kDecision = 0,     ///< Branching decision.
+    kPropagation = 1,  ///< Forced assignment from unit propagation.
+    kBacktrack = 2,    ///< Conflict-driven flip (DPLL) or backjump (CDCL).
+  };
+  Kind kind = Kind::kDecision;
+  uint32_t var = 0;        ///< Variable acted on.
+  bool value = false;      ///< Value assigned (false for a flip's target).
+  size_t trail_depth = 0;  ///< See the convention in the struct comment.
+};
+
+/// Ring capacity of SatSolution::step_trace.
+inline constexpr size_t kSatStepTraceCapacity = 512;
+
+/// Result of a SAT solve. The DPLL backend leaves the CDCL-only fields
+/// (learned_clauses, restarts) at zero and reports conflicts ==
+/// backtracks (every DPLL conflict is one chronological flip).
+struct SatSolution {
+  bool satisfiable = false;
+  std::vector<bool> assignment;  ///< Per-variable value when satisfiable.
+  size_t decisions = 0;          ///< Branching decisions explored.
+  size_t propagations = 0;       ///< Unit propagations performed.
+  size_t backtracks = 0;         ///< Backtracks / backjumps taken.
+  size_t conflicts = 0;          ///< Conflicts hit during the search.
+  size_t learned_clauses = 0;    ///< Clauses learned (CDCL only).
+  size_t restarts = 0;           ///< Restarts performed (CDCL only).
+  /// Step-by-step audit trail of the search: the most recent
+  /// kSatStepTraceCapacity decision/propagation/backtrack steps (a
+  /// bounded ring). Collected only while tracing is enabled
+  /// (trace::Enabled()); empty otherwise, so the default path pays one
+  /// null check per step.
+  std::vector<SatStep> step_trace;
+};
+
+/// A plain-data CNF instance: the unit every backend consumes. Build one
+/// through SatSolver (whose builder validates, deduplicates literals and
+/// drops tautological clauses) — backends may assume each clause is
+/// sorted, duplicate-free, tautology-free, non-empty, and references only
+/// variables below num_vars. An instance whose construction saw an empty
+/// clause carries trivially_unsat instead of storing the clause.
+struct SatInstance {
+  uint32_t num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+  bool trivially_unsat = false;
+};
+
+/// Per-solve options, shared by every backend.
+struct SatSolveOptions {
+  /// Bounds the search (0 = unlimited); exceeding it returns
+  /// kResourceExhausted — the budget ran out, the solver is healthy.
+  size_t max_decisions = 0;
+};
+
+/// A solver backend. Implementations are stateless and cheap to build;
+/// all per-solve state lives on the stack of Solve().
+class SatBackend {
+ public:
+  virtual ~SatBackend() = default;
+
+  /// Registry name, e.g. "dpll" or "cdcl".
+  virtual const char* name() const = 0;
+
+  /// Decides `instance`. Returns kResourceExhausted when
+  /// options.max_decisions ran out before an answer.
+  [[nodiscard]] virtual Result<SatSolution> Solve(
+      const SatInstance& instance, const SatSolveOptions& options) const = 0;
+};
+
+/// The original chronological DPLL with occurrence-list propagation
+/// ("dpll") — the differential oracle.
+std::unique_ptr<SatBackend> MakeDpllSatBackend();
+
+/// The conflict-driven clause-learning engine ("cdcl"): two-watched-
+/// literal propagation, first-UIP learning with non-chronological
+/// backjumping, VSIDS, phase saving, Luby restarts, learned-DB reduction.
+std::unique_ptr<SatBackend> MakeCdclSatBackend();
+
+using SatBackendFactory = std::unique_ptr<SatBackend> (*)();
+
+/// Adds a backend to the registry (later registrations win on name
+/// collision, so tests can shadow a built-in). Thread-safe.
+void RegisterSatBackend(const std::string& name, SatBackendFactory factory);
+
+/// Instantiates a registered backend; InvalidArgument for unknown names
+/// (the message lists what is available).
+[[nodiscard]] Result<std::unique_ptr<SatBackend>> MakeSatBackend(
+    const std::string& name);
+
+/// Registered backend names, registration order, built-ins first.
+std::vector<std::string> SatBackendNames();
+
+/// The backend SatSolver::Solve uses when none is named explicitly.
+/// Starts as "cdcl" (the census-scale engine); SetDefaultSatBackend
+/// steers every subsequent default-backend solve in the process
+/// (e.g. --sat-backend).
+std::string DefaultSatBackendName();
+
+/// Sets the process-wide default; InvalidArgument if `name` is not
+/// registered. Thread-safe, but intended for startup (flag parsing).
+[[nodiscard]] Status SetDefaultSatBackend(const std::string& name);
+
+}  // namespace pso
+
+#endif  // PSO_SOLVER_SAT_BACKEND_H_

@@ -77,6 +77,27 @@ TEST(DimacsParseTest, RejectsMalformedInput) {
   }
 }
 
+TEST(DimacsParseTest, Int64MinLiteralRejectedWithoutNegating) {
+  // Regression: the token -9223372036854775808 parses to INT64_MIN, whose
+  // negation overflows int64_t (UB). The parser must range-check the
+  // literal against the declared variable count before forming |lit|.
+  Result<DimacsCnf> r =
+      ParseDimacsCnf("p cnf 3 1\n-9223372036854775808 0\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // The positive twin and both extreme in-range rejections stay errors.
+  for (const char* text : {"p cnf 3 1\n9223372036854775807 0\n",
+                           "p cnf 3 1\n-4 0\n", "p cnf 3 1\n4 0\n"}) {
+    Result<DimacsCnf> bad = ParseDimacsCnf(text);
+    EXPECT_FALSE(bad.ok()) << text;
+  }
+  // Negative literals at the declared bound still parse.
+  Result<DimacsCnf> ok = ParseDimacsCnf("p cnf 3 1\n-3 0\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->clauses[0], (std::vector<Lit>{MakeLit(2, false)}));
+}
+
 TEST(DimacsParseTest, ParsedFormulaSolves) {
   Result<DimacsCnf> r = ParseDimacsCnf("p cnf 2 2\n1 2 0\n-1 0\n");
   ASSERT_TRUE(r.ok());

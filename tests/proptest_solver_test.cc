@@ -5,9 +5,10 @@
 //   * LP simplex vs exhaustive vertex enumeration (a bounded feasible
 //     region's optimum is attained at a vertex, and every vertex is the
 //     intersection of n active planes from the bound/constraint set);
-//   * DPLL SAT vs exhaustive truth-table search;
-//   * count-CSP vs a SAT cross-encoding of the same instance (and vs
-//     direct multiset enumeration).
+//   * both SAT backends (DPLL and CDCL) vs exhaustive truth-table
+//     search, and vs each other (status must agree exactly);
+//   * count-CSP vs a SAT cross-encoding of the same instance solved by
+//     each backend (and vs direct multiset enumeration).
 //
 // All cases derive from pinned Rng::StreamAt seeds; see proptest.h.
 
@@ -15,6 +16,7 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -24,6 +26,7 @@
 #include "solver/lp.h"
 #include "solver/lp_io.h"
 #include "solver/sat.h"
+#include "solver/sat_backend.h"
 
 namespace pso {
 namespace {
@@ -295,7 +298,7 @@ bool AssignmentSatisfies(const CnfCase& cnf, uint64_t mask) {
   return true;
 }
 
-TEST(SatDifferentialTest, DpllMatchesExhaustiveSearch) {
+TEST(SatDifferentialTest, BackendsMatchExhaustiveSearchAndEachOther) {
   proptest::Config cfg{/*master_seed=*/0x33cc44dd, /*iterations=*/300,
                        /*max_scale=*/10, /*min_scale=*/1};
   EXPECT_TRUE(proptest::ForAll<CnfCase>(
@@ -307,24 +310,32 @@ TEST(SatDifferentialTest, DpllMatchesExhaustiveSearch) {
             break;
           }
         }
-        SatSolver solver(cnf.num_vars);
-        for (const auto& clause : cnf.clauses) solver.AddClause(clause);
-        Result<SatSolution> got = solver.Solve();
-        if (!got.ok()) return "solver error: " + got.status().ToString();
-        if (got->satisfiable != oracle_sat) {
-          return StrFormat(
-              "satisfiability disagrees: dpll=%d exhaustive=%d (%u vars, "
-              "%zu clauses)",
-              got->satisfiable ? 1 : 0, oracle_sat ? 1 : 0, cnf.num_vars,
-              cnf.clauses.size());
-        }
-        if (got->satisfiable) {
-          uint64_t mask = 0;
-          for (uint32_t v = 0; v < cnf.num_vars; ++v) {
-            if (got->assignment[v]) mask |= 1ull << v;
+        for (const char* backend : {"dpll", "cdcl"}) {
+          SatSolver solver(cnf.num_vars);
+          for (const auto& clause : cnf.clauses) solver.AddClause(clause);
+          Result<std::unique_ptr<SatBackend>> engine =
+              MakeSatBackend(backend);
+          if (!engine.ok()) {
+            return "backend error: " + engine.status().ToString();
           }
-          if (!AssignmentSatisfies(cnf, mask)) {
-            return "solver's model does not satisfy the formula";
+          Result<SatSolution> got = solver.SolveWith(**engine, {});
+          if (!got.ok()) return "solver error: " + got.status().ToString();
+          if (got->satisfiable != oracle_sat) {
+            return StrFormat(
+                "satisfiability disagrees: %s=%d exhaustive=%d (%u vars, "
+                "%zu clauses)",
+                backend, got->satisfiable ? 1 : 0, oracle_sat ? 1 : 0,
+                cnf.num_vars, cnf.clauses.size());
+          }
+          if (got->satisfiable) {
+            uint64_t mask = 0;
+            for (uint32_t v = 0; v < cnf.num_vars; ++v) {
+              if (got->assignment[v]) mask |= 1ull << v;
+            }
+            if (!AssignmentSatisfies(cnf, mask)) {
+              return StrFormat("%s's model does not satisfy the formula",
+                               backend);
+            }
           }
         }
         return "";
@@ -366,8 +377,10 @@ CspCase GenCsp(Rng& rng, size_t scale) {
 // SAT encoding: one boolean per (variable, value) with exactly-one rows,
 // an auxiliary "matches constraint k" literal per variable, and Sinz
 // cardinality bounds over the auxiliaries — the same construction
-// census::ReconstructBlockSat uses, exercised here against the CSP.
-bool CspSatisfiableViaSat(const CspCase& c, std::string* error) {
+// census::ReconstructBlockSat uses, exercised here against the CSP and
+// solved by the named backend.
+bool CspSatisfiableViaSat(const CspCase& c, const char* backend,
+                          std::string* error) {
   SatSolver solver(static_cast<uint32_t>(c.num_vars * c.domain));
   auto x = [&](size_t var, size_t val) {
     return MakeLit(static_cast<uint32_t>(var * c.domain + val), true);
@@ -394,7 +407,12 @@ bool CspSatisfiableViaSat(const CspCase& c, std::string* error) {
     solver.AddAtMostK(ys, static_cast<size_t>(count.hi));
     solver.AddAtLeastK(ys, static_cast<size_t>(count.lo));
   }
-  Result<SatSolution> got = solver.Solve();
+  Result<std::unique_ptr<SatBackend>> engine = MakeSatBackend(backend);
+  if (!engine.ok()) {
+    *error = "backend error: " + engine.status().ToString();
+    return false;
+  }
+  Result<SatSolution> got = solver.SolveWith(**engine, {});
   if (!got.ok()) {
     *error = "SAT encoding error: " + got.status().ToString();
     return false;
@@ -452,13 +470,15 @@ TEST(CspDifferentialTest, CspMatchesSatCrossEncodingAndBruteForce) {
               sols.size(), brute, c.num_vars, c.domain, c.counts.size());
         }
 
-        std::string sat_error;
-        bool sat = CspSatisfiableViaSat(c, &sat_error);
-        if (!sat_error.empty()) return sat_error;
-        if (sat != !sols.empty()) {
-          return StrFormat(
-              "satisfiability disagrees: sat-encoding=%d csp=%d", sat ? 1 : 0,
-              sols.empty() ? 0 : 1);
+        for (const char* backend : {"dpll", "cdcl"}) {
+          std::string sat_error;
+          bool sat = CspSatisfiableViaSat(c, backend, &sat_error);
+          if (!sat_error.empty()) return sat_error;
+          if (sat != !sols.empty()) {
+            return StrFormat(
+                "satisfiability disagrees: sat-encoding(%s)=%d csp=%d",
+                backend, sat ? 1 : 0, sols.empty() ? 0 : 1);
+          }
         }
         return "";
       }));

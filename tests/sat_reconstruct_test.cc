@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "census/reconstruct.h"
 #include "census/sat_reconstruct.h"
@@ -141,14 +142,49 @@ TEST(SatReconstructTest, EmptyBlock) {
   EXPECT_TRUE(sat->reconstructed.empty());
 }
 
-TEST(SatReconstructTest, DecisionBudgetReported) {
+TEST(SatReconstructTest, BudgetExhaustionIsFirstClassOutcome) {
+  // A starved decision budget must never surface as an error: the
+  // reconstruction reports budget_exhausted = true and stays ok().
   Population pop = SmallPopulation(23, 1, 5, 5);
   BlockTables t = Tabulate(pop.blocks[0]);
-  auto sat = ReconstructBlockSat(t, /*max_decisions=*/1);
-  // Either solved within one decision (all units) or budget error.
-  if (!sat.ok()) {
-    EXPECT_EQ(sat.status().code(), StatusCode::kInternal);
+  for (const std::string& backend : {std::string("dpll"),
+                                     std::string("cdcl")}) {
+    auto sat = ReconstructBlockSat(t, /*max_decisions=*/1, backend);
+    ASSERT_TRUE(sat.ok()) << sat.status().ToString();
+    if (sat->budget_exhausted) {
+      EXPECT_TRUE(sat->reconstructed.empty());
+      EXPECT_EQ(sat->decisions, 1u);
+    } else {
+      // Solved within one decision (all units): a complete solution.
+      EXPECT_TRUE(sat->satisfiable);
+    }
   }
+}
+
+TEST(SatReconstructTest, BackendsAgreeBlockwise) {
+  // Both registered engines must produce table-consistent solutions and
+  // identical satisfiability on the same census encodings.
+  Population pop = SmallPopulation(24, 6, 2, 5);
+  for (const Block& b : pop.blocks) {
+    BlockTables t = Tabulate(b);
+    auto dpll = ReconstructBlockSat(t, 500000, "dpll");
+    auto cdcl = ReconstructBlockSat(t, 500000, "cdcl");
+    ASSERT_TRUE(dpll.ok());
+    ASSERT_TRUE(cdcl.ok());
+    ASSERT_FALSE(dpll->budget_exhausted);
+    ASSERT_FALSE(cdcl->budget_exhausted);
+    EXPECT_EQ(dpll->satisfiable, cdcl->satisfiable);
+    EXPECT_TRUE(ConsistentWithTables(dpll->reconstructed, t));
+    EXPECT_TRUE(ConsistentWithTables(cdcl->reconstructed, t));
+  }
+}
+
+TEST(SatReconstructTest, UnknownBackendRejected) {
+  Population pop = SmallPopulation(25, 1, 2, 2);
+  BlockTables t = Tabulate(pop.blocks[0]);
+  auto sat = ReconstructBlockSat(t, 1000, "no-such-engine");
+  ASSERT_FALSE(sat.ok());
+  EXPECT_EQ(sat.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

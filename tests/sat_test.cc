@@ -1,9 +1,17 @@
-// Tests for the DPLL SAT solver.
+// Tests for the SAT layer, parameterized over both registered backends
+// (chronological DPLL and conflict-driven CDCL). Every functional property
+// must hold regardless of which engine solves the instance.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+
 #include "common/rng.h"
 #include "solver/sat.h"
+#include "solver/sat_backend.h"
 
 namespace pso {
 namespace {
@@ -18,50 +26,69 @@ TEST(SatTest, LiteralEncoding) {
   EXPECT_EQ(LitNegate(neg), pos);
 }
 
-TEST(SatTest, TrivialSat) {
+TEST(SatTest, BackendRegistryListsBothEngines) {
+  auto names = SatBackendNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "dpll"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "cdcl"), names.end());
+  EXPECT_FALSE(MakeSatBackend("no-such-engine").ok());
+}
+
+// Fixture solving through a named backend from the registry.
+class SatBackendTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  Result<SatSolution> Solve(SatSolver& s, size_t max_decisions = 0) {
+    auto backend = MakeSatBackend(GetParam());
+    if (!backend.ok()) return backend.status();
+    SatSolveOptions options;
+    options.max_decisions = max_decisions;
+    return s.SolveWith(**backend, options);
+  }
+};
+
+TEST_P(SatBackendTest, TrivialSat) {
   SatSolver s(1);
   s.AddUnit(MakeLit(0, true));
-  auto sol = s.Solve();
+  auto sol = Solve(s);
   ASSERT_TRUE(sol.ok());
   ASSERT_TRUE(sol->satisfiable);
   EXPECT_TRUE(sol->assignment[0]);
 }
 
-TEST(SatTest, TrivialUnsat) {
+TEST_P(SatBackendTest, TrivialUnsat) {
   SatSolver s(1);
   s.AddUnit(MakeLit(0, true));
   s.AddUnit(MakeLit(0, false));
-  auto sol = s.Solve();
+  auto sol = Solve(s);
   ASSERT_TRUE(sol.ok());
   EXPECT_FALSE(sol->satisfiable);
 }
 
-TEST(SatTest, EmptyClauseIsUnsat) {
+TEST_P(SatBackendTest, EmptyClauseIsUnsat) {
   SatSolver s(2);
   s.AddClause({});
-  auto sol = s.Solve();
+  auto sol = Solve(s);
   ASSERT_TRUE(sol.ok());
   EXPECT_FALSE(sol->satisfiable);
 }
 
-TEST(SatTest, EmptyFormulaIsSat) {
+TEST_P(SatBackendTest, EmptyFormulaIsSat) {
   SatSolver s(3);
-  auto sol = s.Solve();
+  auto sol = Solve(s);
   ASSERT_TRUE(sol.ok());
   EXPECT_TRUE(sol->satisfiable);
 }
 
-TEST(SatTest, TautologicalClauseDropped) {
+TEST_P(SatBackendTest, TautologicalClauseDropped) {
   SatSolver s(1);
   s.AddBinary(MakeLit(0, true), MakeLit(0, false));  // x or ~x
   s.AddUnit(MakeLit(0, false));
-  auto sol = s.Solve();
+  auto sol = Solve(s);
   ASSERT_TRUE(sol.ok());
   ASSERT_TRUE(sol->satisfiable);
   EXPECT_FALSE(sol->assignment[0]);
 }
 
-TEST(SatTest, ImplicationChainPropagates) {
+TEST_P(SatBackendTest, ImplicationChainPropagates) {
   // x0 and (x0 -> x1) and (x1 -> x2) ... forces all true.
   const uint32_t n = 20;
   SatSolver s(n);
@@ -69,26 +96,26 @@ TEST(SatTest, ImplicationChainPropagates) {
   for (uint32_t i = 0; i + 1 < n; ++i) {
     s.AddBinary(MakeLit(i, false), MakeLit(i + 1, true));
   }
-  auto sol = s.Solve();
+  auto sol = Solve(s);
   ASSERT_TRUE(sol.ok());
   ASSERT_TRUE(sol->satisfiable);
   for (uint32_t i = 0; i < n; ++i) EXPECT_TRUE(sol->assignment[i]);
 }
 
-TEST(SatTest, ExactlyOneConstraint) {
+TEST_P(SatBackendTest, ExactlyOneConstraint) {
   SatSolver s(4);
   std::vector<Lit> lits;
   for (uint32_t v = 0; v < 4; ++v) lits.push_back(MakeLit(v, true));
   s.AddExactlyOne(lits);
-  auto sol = s.Solve();
+  auto sol = Solve(s);
   ASSERT_TRUE(sol.ok());
   ASSERT_TRUE(sol->satisfiable);
   int trues = 0;
-  for (bool b : sol->assignment) trues += b ? 1 : 0;
+  for (uint32_t v = 0; v < 4; ++v) trues += sol->assignment[v] ? 1 : 0;
   EXPECT_EQ(trues, 1);
 }
 
-TEST(SatTest, PigeonholeUnsat) {
+TEST_P(SatBackendTest, PigeonholeUnsat) {
   // 4 pigeons into 3 holes: var p*3+h means pigeon p in hole h.
   const uint32_t pigeons = 4;
   const uint32_t holes = 3;
@@ -108,13 +135,14 @@ TEST(SatTest, PigeonholeUnsat) {
       }
     }
   }
-  auto sol = s.Solve();
+  auto sol = Solve(s);
   ASSERT_TRUE(sol.ok());
   EXPECT_FALSE(sol->satisfiable);
 }
 
-TEST(SatTest, DecisionLimitReported) {
-  // Hard pigeonhole with a tiny decision budget must error out.
+TEST_P(SatBackendTest, DecisionLimitIsResourceExhausted) {
+  // Hard pigeonhole with a tiny decision budget: the solver must report
+  // kResourceExhausted (a first-class budget outcome), never kInternal.
   const uint32_t pigeons = 9;
   const uint32_t holes = 8;
   SatSolver s(pigeons * holes);
@@ -133,17 +161,23 @@ TEST(SatTest, DecisionLimitReported) {
       }
     }
   }
-  auto sol = s.Solve(/*max_decisions=*/5);
-  EXPECT_FALSE(sol.ok());
+  auto sol = Solve(s, /*max_decisions=*/5);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kResourceExhausted);
 }
 
-// Property: on random satisfiable 3-SAT (planted solution), the solver
+INSTANTIATE_TEST_SUITE_P(Backends, SatBackendTest,
+                         ::testing::Values("dpll", "cdcl"),
+                         [](const auto& info) { return info.param; });
+
+// Property: on random satisfiable 3-SAT (planted solution), both backends
 // must find some satisfying assignment, and it must actually satisfy every
 // clause.
-class SatRandomTest : public ::testing::TestWithParam<int> {};
+class SatRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
 
 TEST_P(SatRandomTest, PlantedInstanceSolvedAndVerified) {
-  Rng rng(500 + GetParam());
+  Rng rng(500 + std::get<0>(GetParam()));
   const uint32_t n = 30;
   const size_t m = 100;
   std::vector<bool> planted(n);
@@ -168,7 +202,9 @@ TEST_P(SatRandomTest, PlantedInstanceSolvedAndVerified) {
     s.AddClause(clause);
     clauses.push_back(std::move(clause));
   }
-  auto sol = s.Solve();
+  auto backend = MakeSatBackend(std::get<1>(GetParam()));
+  ASSERT_TRUE(backend.ok());
+  auto sol = s.SolveWith(**backend, {});
   ASSERT_TRUE(sol.ok());
   ASSERT_TRUE(sol->satisfiable);
   for (const auto& clause : clauses) {
@@ -183,7 +219,14 @@ TEST_P(SatRandomTest, PlantedInstanceSolvedAndVerified) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest, ::testing::Range(0, 8));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SatRandomTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values("dpll", "cdcl")),
+    [](const auto& info) {
+      return std::get<1>(info.param) + "_" +
+             std::to_string(std::get<0>(info.param));
+    });
 
 }  // namespace
 }  // namespace pso

@@ -16,6 +16,7 @@
 #include "common/parallel.h"
 #include "solver/lp.h"
 #include "solver/sat.h"
+#include "solver/sat_backend.h"
 
 namespace pso {
 namespace {
@@ -388,6 +389,69 @@ TEST(TraceTest, SatStepTraceRecordedWhenEnabled) {
   const Event* solve =
       FindSpan(Collector::Global().TakeEvents(), "sat.solve");
   ASSERT_NE(solve, nullptr);
+}
+
+TEST(TraceTest, SatStepTrailDepthConvention) {
+  // Pins the SatStep::trail_depth convention documented in sat_backend.h
+  // for BOTH backends: decisions and propagations record the trail
+  // length immediately before their own assignment lands; a backtrack
+  // records the post-unwind length. Replaying the trace with a simulated
+  // trail length must therefore match every recorded depth. DPLL's
+  // backtrack step carries the chronological flip (one assignment lands
+  // as part of the step); CDCL's backjump is a pure unwind whose
+  // asserting literal arrives as a separate propagation step.
+  for (const std::string& backend : {std::string("dpll"),
+                                     std::string("cdcl")}) {
+    ScopedTracing tracing;
+    // Pigeonhole 4->3: no unit clauses (the replayed trail starts
+    // empty), UNSAT, and small enough that CDCL never restarts.
+    const uint32_t pigeons = 4;
+    const uint32_t holes = 3;
+    SatSolver solver(pigeons * holes);
+    for (uint32_t p = 0; p < pigeons; ++p) {
+      std::vector<Lit> somewhere;
+      for (uint32_t h = 0; h < holes; ++h) {
+        somewhere.push_back(MakeLit(p * holes + h, true));
+      }
+      solver.AddClause(somewhere);
+    }
+    for (uint32_t h = 0; h < holes; ++h) {
+      for (uint32_t p1 = 0; p1 < pigeons; ++p1) {
+        for (uint32_t p2 = p1 + 1; p2 < pigeons; ++p2) {
+          solver.AddBinary(MakeLit(p1 * holes + h, false),
+                          MakeLit(p2 * holes + h, false));
+        }
+      }
+    }
+    auto engine = MakeSatBackend(backend);
+    ASSERT_TRUE(engine.ok());
+    auto solved = solver.SolveWith(**engine, {});
+    ASSERT_TRUE(solved.ok());
+    EXPECT_FALSE(solved->satisfiable);
+    ASSERT_LE(solved->step_trace.size(), kSatStepTraceCapacity)
+        << backend << ": trace truncation would break the replay";
+    size_t trail = 0;
+    size_t backtracks_seen = 0;
+    for (const SatStep& step : solved->step_trace) {
+      switch (step.kind) {
+        case SatStep::Kind::kDecision:
+        case SatStep::Kind::kPropagation:
+          EXPECT_EQ(step.trail_depth, trail)
+              << backend << ": pre-push depth on var " << step.var;
+          ++trail;
+          break;
+        case SatStep::Kind::kBacktrack:
+          ++backtracks_seen;
+          EXPECT_LT(step.trail_depth, trail)
+              << backend << ": a backtrack must shrink the trail";
+          trail = step.trail_depth;
+          if (backend == "dpll") ++trail;  // the flip lands with the step
+          break;
+      }
+    }
+    EXPECT_GT(backtracks_seen, 0u) << backend;
+    Collector::Global().TakeEvents();
+  }
 }
 
 TEST(TraceTest, SatStepTraceEmptyWhenDisabled) {

@@ -6,7 +6,7 @@
 //                  [--n 400] [--k 5] [--eps 1.0] [--trials 100]
 //                  [--tau 0] [--seed 1]
 //   psoctl census  [--blocks 50] [--min-size 2] [--max-size 8] [--eps 0]
-//                  [--dp-median] [--seed 1]
+//                  [--dp-median] [--sat] [--seed 1]
 //   psoctl linkage [--n 10000] [--coverage 0.75] [--k 0] [--seed 1]
 //   psoctl recon   [--n 64] [--queries 320] [--alpha 2.0]
 //                  [--decoder {lp,lsq,exhaustive}] [--seed 1]
@@ -31,6 +31,10 @@
 // --lp-backend {dense,sparse} selects the LP solver behind the decoder
 // (default sparse, the revised simplex; dense is the tableau oracle).
 //
+// --sat-backend {dpll,cdcl} selects the SAT engine behind `census
+// --sat`'s blockwise cross-check (default cdcl, the clause-learning
+// engine; dpll is the chronological oracle).
+//
 // Unknown or malformed flags are rejected: each subcommand declares the
 // flags it accepts, and anything else prints usage and exits non-zero.
 
@@ -40,6 +44,7 @@
 #include <cmath>
 
 #include "census/reidentify.h"
+#include "census/sat_reconstruct.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
@@ -58,6 +63,7 @@
 #include "pso/mechanisms.h"
 #include "recon/attacks.h"
 #include "solver/lp_backend.h"
+#include "solver/sat_backend.h"
 #include "tools/flags.h"
 
 namespace pso::tools {
@@ -86,6 +92,7 @@ const std::vector<FlagSpec> kCommonFlags = {
     {"trace", FlagSpec::Type::kString},
     {"log-level", FlagSpec::Type::kString},
     {"lp-backend", FlagSpec::Type::kString},
+    {"sat-backend", FlagSpec::Type::kString},
 };
 
 // The full flag table for `command`; empty for an unknown command.
@@ -104,7 +111,8 @@ std::vector<FlagSpec> CommandFlags(const std::string& command) {
              {"min-size", FlagSpec::Type::kInt},
              {"max-size", FlagSpec::Type::kInt},
              {"eps", FlagSpec::Type::kDouble},
-             {"dp-median", FlagSpec::Type::kBool}};
+             {"dp-median", FlagSpec::Type::kBool},
+             {"sat", FlagSpec::Type::kBool}};
   } else if (command == "linkage") {
     specs = {{"n", FlagSpec::Type::kInt},
              {"coverage", FlagSpec::Type::kDouble},
@@ -238,6 +246,33 @@ int RunCensus(const Flags& flags) {
       pop, per_block, commercial, /*age_tolerance=*/1, pool.get());
   RecordPoolGauges(pool.get());
 
+  // --sat: cross-check each block on the process-default SAT backend
+  // (--sat-backend selects it) and report agreement with the CSP engine
+  // plus budget exhaustions as first-class outcomes.
+  size_t sat_checked = 0;
+  size_t sat_agree = 0;
+  size_t sat_exhausted = 0;
+  size_t sat_decisions = 0;
+  const bool run_sat = flags.GetBool("sat", false);
+  if (run_sat) {
+    for (size_t b = 0; b < pop.blocks.size(); ++b) {
+      auto sat =
+          census::ReconstructBlockSat(tables[b], /*max_decisions=*/500000);
+      if (!sat.ok()) continue;
+      ++sat_checked;
+      sat_decisions += sat->decisions;
+      if (sat->budget_exhausted) {
+        ++sat_exhausted;
+        continue;
+      }
+      // Exact tables are always satisfiable by the true block; noisy
+      // tables may admit no candidate multiset at all. Agreement means
+      // the SAT verdict matches the CSP engine's.
+      const bool csp_found = per_block[b].solutions_found > 0;
+      if (sat->satisfiable == csp_found) ++sat_agree;
+    }
+  }
+
   TextTable table({"metric", "value"});
   table.AddRow({"persons", StrFormat("%zu", pop.total_persons)});
   table.AddRow({"tables", eps > 0.0 ? StrFormat("DP (eps=%.2f)", eps)
@@ -250,6 +285,13 @@ int RunCensus(const Flags& flags) {
                 StrFormat("%.2f%%", 100.0 * reid.putative_rate())});
   table.AddRow({"confirmed re-identifications",
                 StrFormat("%.2f%%", 100.0 * reid.confirmed_rate())});
+  if (run_sat) {
+    table.AddRow({"SAT cross-check backend", DefaultSatBackendName()});
+    table.AddRow({"SAT blocks agreeing",
+                  StrFormat("%zu/%zu", sat_agree, sat_checked)});
+    table.AddRow({"SAT budget exhausted", StrFormat("%zu", sat_exhausted)});
+    table.AddRow({"SAT decisions", StrFormat("%zu", sat_decisions)});
+  }
   table.Print();
   return 0;
 }
@@ -407,6 +449,14 @@ int Main(int argc, char** argv) {
   const std::string lp_backend = flags.GetString("lp-backend", "");
   if (!lp_backend.empty()) {
     Status set = SetDefaultLpBackend(lp_backend);
+    if (!set.ok()) {
+      std::fprintf(stderr, "psoctl: %s\n", set.ToString().c_str());
+      return Usage();
+    }
+  }
+  const std::string sat_backend = flags.GetString("sat-backend", "");
+  if (!sat_backend.empty()) {
+    Status set = SetDefaultSatBackend(sat_backend);
     if (!set.ok()) {
       std::fprintf(stderr, "psoctl: %s\n", set.ToString().c_str());
       return Usage();
