@@ -33,8 +33,11 @@ int Run(int argc, char** argv) {
   auto apr30 = MakeAttributeEquals(0, 119, "birthday");  // day 119 ~ Apr-30
   BernoulliEstimator birthday_iso;
   for (int t = 0; t < 4000; ++t) {
-    Dataset x = birthdays.distribution.SampleDataset(n, rng);
-    birthday_iso.Add(Isolates(*apr30, x));
+    bench::TimedIteration([&] {
+      Dataset x = birthdays.distribution.SampleDataset(n, rng);
+      birthday_iso.Add(Isolates(*apr30, x));
+      return 0;
+    });
   }
   std::printf(
       "Birthday example: fixed predicate 'birthday == Apr-30', n = 365\n"

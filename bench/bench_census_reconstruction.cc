@@ -89,7 +89,10 @@ SatDuelLeg RunSatDuelLeg(const std::string& backend,
   SatDuelLeg leg;
   bench::WallTimer timer;
   for (const BlockTables& t : duel_tables) {
-    auto r = ReconstructBlockSat(t, kDuelBudget, backend);
+    // Per-block solve latency lands in the bench.main_loop histogram —
+    // the per-block solve-time distribution, not just one aggregate.
+    auto r = bench::TimedIteration(
+        [&] { return ReconstructBlockSat(t, kDuelBudget, backend); });
     if (!r.ok()) {
       leg.outcomes.push_back(DuelOutcome::kError);
       leg.block_decisions.push_back(0);

@@ -53,7 +53,7 @@ int Run(int argc, char** argv) {
        {MakeCiphertextMechanism(), MakePadMechanism(),
         MakeBundleMechanism(
             {MakeCiphertextMechanism(), MakePadMechanism()})}) {
-    auto r = game.Run(*mech, *decrypt);
+    auto r = bench::TimedIteration([&] { return game.Run(*mech, *decrypt); });
     pair_table.AddRow({r.mechanism, r.adversary,
                        StrFormat("%.4f", r.pso_success.rate()),
                        StrFormat("%.4f", r.baseline)});

@@ -44,7 +44,7 @@ int Run(int argc, char** argv) {
          {MakeTrivialHashAdversary(1.0 / (10.0 * n)),
           MakeCountTunedAdversary(q, "sex=F"),
           MakeUniqueRecordAdversary()}) {
-      auto r = game.Run(*mech, *adv);
+      auto r = bench::TimedIteration([&] { return game.Run(*mech, *adv); });
       table.AddRow({StrFormat("%zu", n), r.adversary,
                     StrFormat("%.4f", r.pso_success.rate()),
                     StrFormat("%.4f", r.pso_success.WilsonInterval().hi),

@@ -39,7 +39,8 @@ int Run(int argc, char** argv) {
       return static_cast<int64_t>(
           std::floor((count + r.Laplace(1.0 / eps)) * 2.0));
     };
-    AuditResult audit = AuditPrivacyLoss(lap, 600000, rng, 2000);
+    AuditResult audit = bench::TimedIteration(
+        [&] { return AuditPrivacyLoss(lap, 600000, rng, 2000); });
     bool ok = audit.empirical_eps <= eps * 1.05 + kBias;
     table.AddRow({"Laplace count", StrFormat("%.2f", eps),
                   StrFormat("%.3f", audit.empirical_eps),

@@ -49,7 +49,8 @@ int Run(int argc, char** argv) {
       for (const AdversaryRef& adv :
            {MakeTrivialHashAdversary(1.0 / (10.0 * n)),
             MakeCountTunedAdversary(q, "sex=F")}) {
-        auto r = game.Run(*mech, *adv);
+        auto r =
+            bench::TimedIteration([&] { return game.Run(*mech, *adv); });
         table.AddRow({r.mechanism, r.adversary,
                       StrFormat("%.4f", r.pso_success.rate()),
                       StrFormat("%.4f", r.baseline),

@@ -55,7 +55,8 @@ int Run(int argc, char** argv) {
   for (double alpha : alphas) {
     std::vector<std::string> row = {StrFormat("%.0f", alpha)};
     for (size_t q : query_counts) {
-      double acc = Accuracy(n, q, alpha, 1234 + q + (uint64_t)alpha * 13);
+      double acc = bench::TimedIteration(
+          [&] { return Accuracy(n, q, alpha, 1234 + q + (uint64_t)alpha * 13); });
       row.push_back(StrFormat("%.3f", acc));
       if (alpha <= 1.0 && q == 320) many_accurate = acc;
       if (alpha <= 1.0 && q == 32) few_accurate = acc;
@@ -75,8 +76,10 @@ int Run(int argc, char** argv) {
     auto secret = recon::RandomBits(n, rng);
     double eps_per_query = 1.0 / static_cast<double>(q);
     recon::LaplaceOracle oracle(secret, eps_per_query, 99 + q);
-    auto r = recon::LeastSquaresReconstruct(oracle, q, rng);
-    double acc = recon::FractionAgree(r.estimate, secret);
+    double acc = bench::TimedIteration([&] {
+      auto r = recon::LeastSquaresReconstruct(oracle, q, rng);
+      return recon::FractionAgree(r.estimate, secret);
+    });
     dp_worst = std::max(dp_worst, acc);
     dp_table.AddRow({StrFormat("%zu", q),
                      StrFormat("%.0f", 1.0 / eps_per_query),

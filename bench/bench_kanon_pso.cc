@@ -70,7 +70,8 @@ int Run(int argc, char** argv) {
          {MakeKAnonHashAdversary(), MakeKAnonMinimalityAdversary()}) {
       bool is_hash = adv->Name().find("Hash") != std::string::npos;
       if (is_hash && k > 5) continue;  // covered by the ablation below
-      auto r = RunGame(gic, n, k, adv, 100, par.get());
+      auto r = bench::TimedIteration(
+          [&] { return RunGame(gic, n, k, adv, 100, par.get()); });
       table.AddRow({"GIC(d=8)", StrFormat("%zu", k), StrFormat("%zu", n),
                     r.adversary, StrFormat("%.4f", r.pso_success.rate()),
                     StrFormat("%.4f", r.pso_success.WilsonInterval().lo),

@@ -42,17 +42,21 @@ int Run(int argc, char** argv) {
        {KAnonAlgorithm::kDatafly, KAnonAlgorithm::kMondrian}) {
     auto mech = MakeKAnonymityMechanism(
         algo, 5, kanon::HierarchySet::Defaults(u.schema), {});
-    kanon_games.push_back(game.Run(*mech, *MakeKAnonHashAdversary()));
-    kanon_games.push_back(game.Run(*mech, *MakeKAnonMinimalityAdversary()));
+    kanon_games.push_back(bench::TimedIteration(
+        [&] { return game.Run(*mech, *MakeKAnonHashAdversary()); }));
+    kanon_games.push_back(bench::TimedIteration(
+        [&] { return game.Run(*mech, *MakeKAnonMinimalityAdversary()); }));
   }
 
   // DP games.
   std::vector<PsoGameResult> dp_games;
   for (double eps : {0.5, 1.0}) {
     auto mech = MakeLaplaceCountMechanism(q, "sex=F", eps);
-    dp_games.push_back(
-        game.Run(*mech, *MakeTrivialHashAdversary(1.0 / (10.0 * n))));
-    dp_games.push_back(game.Run(*mech, *MakeCountTunedAdversary(q, "F")));
+    dp_games.push_back(bench::TimedIteration([&] {
+      return game.Run(*mech, *MakeTrivialHashAdversary(1.0 / (10.0 * n)));
+    }));
+    dp_games.push_back(bench::TimedIteration(
+        [&] { return game.Run(*mech, *MakeCountTunedAdversary(q, "F")); }));
   }
 
   LegalReport report;

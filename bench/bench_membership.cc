@@ -46,7 +46,8 @@ int Run(int argc, char** argv) {
     opts.trials = 250;
     opts.eps = c.eps;
     opts.pool = par.get();
-    MembershipResult r = RunMembershipExperiment(u, opts);
+    MembershipResult r = bench::TimedIteration(
+        [&] { return RunMembershipExperiment(u, opts); });
     table.AddRow({StrFormat("%lld", (long long)c.attrs),
                   StrFormat("%zu", c.pool),
                   c.eps == 0.0 ? "exact" : StrFormat("%.1f", c.eps),

@@ -149,8 +149,13 @@ void BM_PsoGameTrialKAnon(benchmark::State& state) {
   opts.trials = 1;
   opts.weight_pool = 20000;
   for (auto _ : state) {
-    PsoGame game(u.distribution, 300, opts);
-    benchmark::DoNotOptimize(game.Run(*mech, *adv));
+    // TimedIteration feeds the bench.main_loop histogram so bench_micro's
+    // JSON report carries tail latencies like the shape-check harnesses.
+    bench::TimedIteration([&] {
+      PsoGame game(u.distribution, 300, opts);
+      benchmark::DoNotOptimize(game.Run(*mech, *adv));
+      return 0;
+    });
   }
 }
 BENCHMARK(BM_PsoGameTrialKAnon);
@@ -173,13 +178,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json" || arg == "--trace" || arg == "--log-level" ||
-        arg == "--lp-backend") {
+        arg == "--lp-backend" || arg == "--sat-backend" ||
+        arg == "--solver-watchdog-ms") {
       if (i + 1 < argc) ++i;  // skip the path operand
       continue;
     }
     if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0 ||
         arg.rfind("--log-level=", 0) == 0 ||
-        arg.rfind("--lp-backend=", 0) == 0) {
+        arg.rfind("--lp-backend=", 0) == 0 ||
+        arg.rfind("--sat-backend=", 0) == 0 ||
+        arg.rfind("--solver-watchdog-ms=", 0) == 0) {
       continue;
     }
     kept.push_back(argv[i]);

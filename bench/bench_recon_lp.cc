@@ -128,7 +128,8 @@ int Run(int argc, char** argv) {
       RunningStats lsq_acc;
       const size_t trials = 3;
       for (size_t t = 0; t < trials; ++t) {
-        DecodePoint p = LpDecodeAt(n, c, t, lp_options);
+        DecodePoint p = bench::TimedIteration(
+            [&] { return LpDecodeAt(n, c, t, lp_options); });
         if (p.ok) lp_acc.Add(p.accuracy);
         // The LSQ decoder re-draws the same oracle/query stream.
         Rng rng(500 + 17 * t + n);

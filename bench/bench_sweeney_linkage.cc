@@ -46,7 +46,8 @@ int Run(int argc, char** argv) {
   double full_unique = 0.0;
   double zip_unique = 0.0;
   for (const QiSet& qi : qi_sets) {
-    UniquenessReport r = AnalyzeUniqueness(pop.records, qi.attrs);
+    UniquenessReport r = bench::TimedIteration(
+        [&] { return AnalyzeUniqueness(pop.records, qi.attrs); });
     uniq_table.AddRow({qi.name,
                        StrFormat("%.1f%%", 100.0 * r.unique_fraction()),
                        StrFormat("%zu", r.groups)});

@@ -68,7 +68,8 @@ int Run(int argc, char** argv) {
        {SyntheticMode::kBootstrap, SyntheticMode::kMarginal,
         SyntheticMode::kDpMarginal}) {
     auto mech = MakeSyntheticDataMechanism(mode, 0, /*eps=*/1.0);
-    auto result = game.Run(*mech, *adversary);
+    auto result =
+        bench::TimedIteration([&] { return game.Run(*mech, *adversary); });
     MechanismOutput sample_out = mech->Run(sample, urng);
     const Dataset* synth = sample_out.As<Dataset>();
     double tv = synth != nullptr ? AgeHistogramError(sample, *synth) : 1.0;

@@ -26,6 +26,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/progress.h"
 #include "common/str_util.h"
 #include "common/trace.h"
 #include "solver/lp_backend.h"
@@ -149,15 +150,17 @@ struct BenchContext {
   size_t threads = 1;       ///< Resolved --threads value.
   std::string lp_backend;   ///< Resolved --lp-backend (process default).
   std::string sat_backend;  ///< Resolved --sat-backend (process default).
+  int64_t watchdog_ms = 0;  ///< Resolved --solver-watchdog-ms (0 = off).
   WallTimer timer;          ///< Wall clock for the whole run.
 };
 
 /// Parses the standard harness flags (--json <path>, --threads N,
 /// --trace <path>, --log-level {debug,info,warn,error},
-/// --lp-backend {dense,sparse}, --sat-backend {dpll,cdcl}), starts the
-/// run stopwatch, and — when --trace was given — enables the global trace
-/// collector. Unknown or malformed flags print usage to stderr and exit
-/// non-zero.
+/// --lp-backend {dense,sparse}, --sat-backend {dpll,cdcl},
+/// --solver-watchdog-ms N), starts the run stopwatch, arms the stall
+/// watchdog when requested, and — when --trace was given — enables the
+/// global trace collector. Unknown or malformed flags print usage to
+/// stderr and exit non-zero.
 inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
                                      char** argv) {
   tools::Flags flags(argc, argv);
@@ -168,6 +171,7 @@ inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
       {"log-level", tools::FlagSpec::Type::kString},
       {"lp-backend", tools::FlagSpec::Type::kString},
       {"sat-backend", tools::FlagSpec::Type::kString},
+      {"solver-watchdog-ms", tools::FlagSpec::Type::kInt},
   };
   std::vector<std::string> errors;
   tools::ValidateFlags(flags, specs, &errors);
@@ -185,7 +189,8 @@ inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
     std::fprintf(stderr,
                  "usage: %s [--json FILE] [--threads N] [--trace FILE] "
                  "[--log-level debug|info|warn|error] "
-                 "[--lp-backend dense|sparse] [--sat-backend dpll|cdcl]\n",
+                 "[--lp-backend dense|sparse] [--sat-backend dpll|cdcl] "
+                 "[--solver-watchdog-ms N]\n",
                  bench_name.c_str());
     std::exit(2);
   }
@@ -226,12 +231,30 @@ inline BenchContext MakeBenchContext(const std::string& bench_name, int argc,
   ctx.threads = flags.GetThreads();
   ctx.lp_backend = DefaultLpBackendName();
   ctx.sat_backend = DefaultSatBackendName();
+  ctx.watchdog_ms = flags.GetInt("solver-watchdog-ms", 0);
+  if (ctx.watchdog_ms > 0) {
+    progress::Watchdog::Global().Start(ctx.watchdog_ms);
+  }
   if (!ctx.trace_path.empty()) {
     trace::Collector::Global().Enable();
     // Remembered so an aborting PSO_CHECK still flushes a partial trace.
     trace::Collector::Global().SetFlushPath(ctx.trace_path);
   }
   return ctx;
+}
+
+/// The histogram every harness records its main-loop iteration latency
+/// into; BENCH_*.json reports its tail quantiles and throughput, and CI
+/// asserts it is present.
+inline constexpr const char* kMainLoopHist = "bench.main_loop";
+
+/// Runs one main-loop iteration under the per-iteration latency span:
+/// the interval lands in the `bench.main_loop` timer + histogram, giving
+/// every harness p50..p999 tail latencies and derived events/sec.
+template <class Fn>
+auto TimedIteration(Fn&& fn) {
+  metrics::ScopedSpan span{std::string(kMainLoopHist)};
+  return fn();
 }
 
 /// Peak resident set size of this process in bytes (0 where the platform
@@ -262,13 +285,16 @@ inline const char* GitSha() {
 /// Serializes one finished run as the BENCH_*.json document (schema
 /// documented in EXPERIMENTS.md). `snapshot.counters` is the
 /// deterministic section: same seed + same thread count => identical
-/// values on every run. Wall clock, timers, and gauges are run-dependent.
+/// values on every run. Wall clock, timers, gauges, histogram quantiles,
+/// and throughput are run-dependent; histogram event *counts* are
+/// deterministic and gated by tools/bench_diff.py.
 inline std::string BenchReportJson(const BenchContext& ctx,
                                    const std::string& experiment,
                                    const ShapeChecks& checks,
                                    const metrics::Snapshot& snapshot) {
+  const double wall_seconds = ctx.timer.Seconds();
   std::string out = "{\n";
-  out += "  \"schema_version\": 2,\n";
+  out += "  \"schema_version\": 3,\n";
   out += StrFormat("  \"bench\": \"%s\",\n",
                    metrics::JsonEscape(ctx.bench_name).c_str());
   out += StrFormat("  \"experiment\": \"%s\",\n",
@@ -276,9 +302,31 @@ inline std::string BenchReportJson(const BenchContext& ctx,
   out += StrFormat("  \"git_sha\": \"%s\",\n",
                    metrics::JsonEscape(GitSha()).c_str());
   out += StrFormat("  \"threads\": %zu,\n", ctx.threads);
-  out += StrFormat("  \"wall_clock_seconds\": %.6f,\n", ctx.timer.Seconds());
+  out += StrFormat("  \"wall_clock_seconds\": %.6f,\n", wall_seconds);
   out += StrFormat("  \"peak_rss_bytes\": %llu,\n",
                    static_cast<unsigned long long>(PeakRssBytes()));
+  out += StrFormat("  \"watchdog_ms\": %lld,\n",
+                   static_cast<long long>(ctx.watchdog_ms));
+  out += StrFormat(
+      "  \"watchdog_stalls\": %llu,\n",
+      static_cast<unsigned long long>(progress::Watchdog::Global().stalls()));
+  // Derived events/sec per histogram over the run's measured window —
+  // the "queries per second" shape the future QueryService reports
+  // per-client. Run-dependent (wall clock in the denominator).
+  out += "  \"throughput\": {";
+  {
+    bool first = true;
+    for (const auto& [name, hv] : snapshot.histograms) {
+      if (!first) out += ", ";
+      first = false;
+      const double rate = wall_seconds > 0.0
+                              ? static_cast<double>(hv.count) / wall_seconds
+                              : 0.0;
+      out += StrFormat("\"%s\": %.6f", metrics::JsonEscape(name).c_str(),
+                       rate);
+    }
+  }
+  out += "},\n";
   out += StrFormat("  \"trace_file\": \"%s\",\n",
                    metrics::JsonEscape(ctx.trace_path).c_str());
   out += "  \"shape_checks\": [";
@@ -308,6 +356,9 @@ inline int FinishBench(const BenchContext& ctx, const std::string& experiment,
                        const ShapeChecks& checks,
                        const ThreadPool* pool = nullptr) {
   RecordPoolGauges(pool);
+  // Disarm before snapshotting so the stall count in the report is final
+  // and the background thread is joined before process teardown.
+  progress::Watchdog::Global().Stop();
   int rc = checks.Finish(experiment);
   if (!ctx.trace_path.empty()) {
     if (trace::Collector::Global().WriteChromeJson(ctx.trace_path)) {

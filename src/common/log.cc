@@ -118,12 +118,15 @@ class SinkCore {
   std::vector<Buffered> buffer_ PSO_GUARDED_BY(mu_);
 };
 
-// Logger time origin: first use of Now().
+// Logger time origin: first use of Now(). Log timestamps are display
+// metadata, not measurements — they stay out of the metrics facade.
 uint64_t NowMicros() {
-  static const auto epoch = std::chrono::steady_clock::now();
+  static const auto epoch =
+      std::chrono::steady_clock::now();  // pso-lint: allow(wall-clock)
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - epoch)
+          std::chrono::steady_clock::now() -  // pso-lint: allow(wall-clock)
+          epoch)
           .count());
 }
 

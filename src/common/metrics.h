@@ -1,6 +1,6 @@
-// Process-wide observability: named counters, wall-clock timers, and
-// scoped spans, collected in a registry that benches and psoctl snapshot
-// into BENCH_*.json / --metrics dumps.
+// Process-wide observability: named counters, wall-clock timers,
+// mergeable latency histograms, and scoped spans, collected in a registry
+// that benches and psoctl snapshot into BENCH_*.json / --metrics dumps.
 //
 // Determinism contract (matters because BENCH_*.json files are diffed
 // across runs to detect perf and behavior regressions):
@@ -13,15 +13,25 @@
 //    observations (worker-queue imbalance). These are inherently
 //    run-dependent and are reported in separate JSON sections so tooling
 //    can diff the deterministic "counters" object exactly.
+//  - Histograms hold per-event value distributions over FIXED log-scale
+//    bucket boundaries (see Histogram). Every internal accumulator is an
+//    integer (bucket tallies, fixed-point sum) or an order-free extremum
+//    (min/max), so concurrent recording commutes and MergeFrom is exact:
+//    merging N per-shard histograms reproduces the single-thread
+//    histogram bit for bit, like RunningStats::Merge. When the recorded
+//    values themselves are deterministic (work counts), the whole
+//    snapshot is; when they are wall-clock latencies, only the event
+//    *count* is — tools/bench_diff.py gates exactly that split.
 //
 // Hot-path usage: look the handle up once and keep the reference —
 // Registry::GetCounter takes a lock for the name lookup, but the returned
-// Counter/Timer lives for the registry's lifetime and its operations are
-// lock-free atomics.
+// Counter/Timer/Histogram lives for the registry's lifetime and its
+// operations are lock-free atomics.
 
 #ifndef PSO_COMMON_METRICS_H_
 #define PSO_COMMON_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -71,20 +81,123 @@ class Timer {
   std::atomic<uint64_t> count_{0};
 };
 
-/// Everything the registry knows at one instant. Counters/timers from a
-/// snapshot can be merged back into another registry (worker-local
-/// collection), and the maps are ordered so rendering is stable.
+/// Log-bucketed value distribution with FIXED bucket boundaries, so two
+/// histograms recorded independently (per worker, per shard, per process)
+/// merge exactly: the merged bucket tallies, count, sum, min, and max are
+/// bit-identical to recording every value into one histogram, regardless
+/// of thread count or interleaving.
+///
+/// Bucket scheme (HdrHistogram-style base-2 sub-bucketed log scale):
+/// each power-of-two octave [2^e, 2^(e+1)) is split into kSubBuckets
+/// equal-width sub-buckets, giving a worst-case relative quantile error
+/// of 1/kSubBuckets = 12.5% across ~19 decades (2^-32 .. 2^31 — for
+/// latencies in seconds that spans fractions of a nanosecond to decades).
+/// Values below the first octave (including zero and negatives) land in
+/// bucket 0; values at or above the last octave land in the final
+/// overflow bucket. Boundaries are compile-time constants: no
+/// configuration to disagree on, so MergeFrom never needs rebinning.
+///
+/// Every accumulator commutes: bucket tallies and count are atomic
+/// integer adds, sum is an atomic fixed-point integer (nano-units; adds
+/// commute where floating-point addition would not), min/max are CAS
+/// loops. See the determinism contract at the top of this header.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 3;  // 8 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMinExponent = -32;  // first octave [2^-32, 2^-31)
+  static constexpr int kMaxExponent = 31;   // last octave [2^30, 2^31)
+  // Bucket 0 = underflow (v < 2^kMinExponent, incl. zero/negative);
+  // buckets 1 .. kNumBuckets-2 = the sub-bucketed octaves;
+  // bucket kNumBuckets-1 = overflow (v >= 2^kMaxExponent).
+  static constexpr int kNumBuckets =
+      (kMaxExponent - kMinExponent) * kSubBuckets + 2;
+  // Fixed-point scale for the exact sum: 1e9 units per 1.0 (nano-units).
+  static constexpr double kSumScale = 1e9;
+
+  /// Maps a value to its bucket index in [0, kNumBuckets). Pure: the
+  /// mapping is a compile-time-fixed function of the double's bits.
+  static int BucketIndex(double v);
+  /// Inclusive lower bound of bucket `i` (-inf conceptually for bucket 0,
+  /// reported as 0.0; +2^kMaxExponent for the overflow bucket).
+  static double BucketLowerBound(int i);
+  /// Exclusive upper bound of bucket `i` (+inf for the overflow bucket).
+  static double BucketUpperBound(int i);
+
+  /// Records one observation. Thread-safe; concurrent records commute.
+  void Record(double v);
+
+  /// Folds a snapshotted histogram state into this one exactly: bucket
+  /// tallies, count, and fixed-point sum add; min/max fold by CAS. Used
+  /// by Registry::MergeFrom. `count == 0` is a no-op (the min/max seeds
+  /// of an empty snapshot must not participate).
+  void MergeParts(uint64_t count, uint64_t sum_fp, double mn, double mx,
+                  const std::map<int, uint64_t>& buckets);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Exact fixed-point sum in nano-units (kSumScale per 1.0).
+  uint64_t sum_fp() const { return sum_fp_.load(std::memory_order_relaxed); }
+  double sum() const { return static_cast<double>(sum_fp()) / kSumScale; }
+  /// Smallest/largest recorded value; 0.0 when count() == 0.
+  double min() const;
+  double max() const;
+  uint64_t bucket(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_fp_{0};
+  // Raw double bits, updated by CAS loops (commutative folds). Seeded
+  // with +inf/-inf so the first Record wins unconditionally; reported as
+  // 0.0 while count_ == 0.
+  std::atomic<uint64_t> min_bits_{0x7FF0000000000000ull};  // +inf
+  std::atomic<uint64_t> max_bits_{0xFFF0000000000000ull};  // -inf
+};
+
+/// Everything the registry knows at one instant. Counters/timers/
+/// histograms from a snapshot can be merged back into another registry
+/// (worker-local collection), and the maps are ordered so rendering is
+/// stable.
 struct Snapshot {
   struct TimerValue {
     double seconds = 0.0;
     uint64_t count = 0;
   };
+  /// A histogram's state at one instant. `buckets` is sparse: only
+  /// non-zero tallies, keyed by bucket index. `sum_fp` is the exact
+  /// fixed-point sum (Histogram::kSumScale units) so merging snapshots
+  /// stays exact.
+  struct HistogramValue {
+    uint64_t count = 0;
+    uint64_t sum_fp = 0;
+    double min = 0.0;
+    double max = 0.0;
+    std::map<int, uint64_t> buckets;
+
+    double sum() const {
+      return static_cast<double>(sum_fp) / Histogram::kSumScale;
+    }
+    double mean() const { return count == 0 ? 0.0 : sum() / count; }
+    /// Index of the bucket containing the q-quantile (0 <= q <= 1) under
+    /// the empirical distribution, or -1 when empty.
+    int BucketAtQuantile(double q) const;
+    /// Quantile estimate: the upper bound of the bucket containing the
+    /// q-quantile (so the estimate never under-reports a tail), clamped
+    /// to [min, max]. 0.0 when empty.
+    double ValueAtQuantile(double q) const;
+  };
   std::map<std::string, uint64_t> counters;
   std::map<std::string, TimerValue> timers;
   std::map<std::string, double> gauges;
+  std::map<std::string, HistogramValue> histograms;
 
   bool empty() const {
-    return counters.empty() && timers.empty() && gauges.empty();
+    return counters.empty() && timers.empty() && gauges.empty() &&
+           histograms.empty();
   }
 };
 
@@ -100,10 +213,12 @@ class Registry {
   /// The process-wide registry every instrumented module records into.
   static Registry& Global();
 
-  /// Returns the counter/timer registered under `name`, creating it on
-  /// first use. The reference stays valid for the registry's lifetime.
+  /// Returns the counter/timer/histogram registered under `name`,
+  /// creating it on first use. The reference stays valid for the
+  /// registry's lifetime.
   Counter& GetCounter(const std::string& name) PSO_EXCLUDES(mu_);
   Timer& GetTimer(const std::string& name) PSO_EXCLUDES(mu_);
+  Histogram& GetHistogram(const std::string& name) PSO_EXCLUDES(mu_);
 
   /// Sets (overwrites) a point-in-time observation.
   void SetGauge(const std::string& name, double value) PSO_EXCLUDES(mu_);
@@ -113,10 +228,12 @@ class Registry {
   /// not a consistent cut, which is fine for monotone counters).
   Snapshot TakeSnapshot() const PSO_EXCLUDES(mu_);
 
-  /// Adds `snap`'s counters and timers into this registry and overwrites
-  /// its gauges — the merge step for worker-local registries. Merging is
-  /// associative and commutative over counters/timers, so merge order
-  /// cannot change totals.
+  /// Adds `snap`'s counters, timers, and histograms into this registry
+  /// and overwrites its gauges — the merge step for worker-local
+  /// registries. Merging is associative and commutative over counters/
+  /// timers/histograms (integer adds + extremum folds), so merge order
+  /// cannot change totals, and merging N shards is bit-identical to
+  /// recording everything into one registry.
   void MergeFrom(const Snapshot& snap) PSO_EXCLUDES(mu_);
 
   /// Zeroes every counter and timer and drops all gauges. Handles remain
@@ -131,6 +248,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_
       PSO_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Timer>> timers_ PSO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PSO_GUARDED_BY(mu_);
   std::map<std::string, double> gauges_ PSO_GUARDED_BY(mu_);
 };
 
@@ -141,40 +260,64 @@ inline Counter& GetCounter(const std::string& name) {
 inline Timer& GetTimer(const std::string& name) {
   return Registry::Global().GetTimer(name);
 }
+inline Histogram& GetHistogram(const std::string& name) {
+  return Registry::Global().GetHistogram(name);
+}
 inline void SetGauge(const std::string& name, double value) {
   Registry::Global().SetGauge(name, value);
 }
 
 /// Records the wall-clock time between construction and destruction into
-/// a Timer. Non-copyable; stack-allocate one per measured scope.
+/// a Timer, and (for named spans) the same interval into a same-named
+/// Histogram — so every instrumented hot path gets a per-call latency
+/// distribution (p50..p999) next to its aggregate timer, for free.
+/// Non-copyable; stack-allocate one per measured scope.
 class ScopedSpan {
  public:
   explicit ScopedSpan(Timer& timer)
-      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
-  /// Span over the global registry's timer `name`.
-  explicit ScopedSpan(const std::string& name) : ScopedSpan(GetTimer(name)) {}
+      : timer_(timer), hist_(nullptr),
+        start_(std::chrono::steady_clock::now()) {}
+  ScopedSpan(Timer& timer, Histogram& hist)
+      : timer_(timer), hist_(&hist),
+        start_(std::chrono::steady_clock::now()) {}
+  /// Span over the global registry's timer `name` plus the histogram of
+  /// the same name.
+  explicit ScopedSpan(const std::string& name)
+      : ScopedSpan(GetTimer(name), GetHistogram(name)) {}
   ~ScopedSpan() {
-    timer_.Record(std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start_)
-                      .count());
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    timer_.Record(seconds);
+    if (hist_ != nullptr) hist_->Record(seconds);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
   Timer& timer_;
+  Histogram* hist_;
   std::chrono::steady_clock::time_point start_;
 };
 
 /// JSON-escapes `s` (quotes, backslashes, control characters).
 std::string JsonEscape(const std::string& s);
 
-/// Renders `snap` as a JSON object with "counters", "timers", and
-/// "gauges" members (each an object keyed by metric name, keys sorted).
+/// Renders `snap` as a JSON object with "counters", "timers", "gauges",
+/// and "histograms" members (each an object keyed by metric name, keys
+/// sorted). Names and string values are JSON-escaped; non-finite numbers
+/// render as null (both would otherwise produce invalid JSON).
 std::string SnapshotToJson(const Snapshot& snap);
 
 /// Renders `snap` as an aligned human-readable listing (psoctl --metrics).
 std::string SnapshotToText(const Snapshot& snap);
+
+/// Renders `snap` in the Prometheus text exposition format (version
+/// 0.0.4): counters as `<name>_total`, gauges as gauges, timers as
+/// (sum, count) summaries, histograms as cumulative `_bucket{le="..."}`
+/// series ending in `le="+Inf"` plus `_sum`/`_count`. Metric names are
+/// sanitized to [a-zA-Z0-9_:] as the format requires.
+std::string ExpositionToProm(const Snapshot& snap);
 
 }  // namespace pso::metrics
 

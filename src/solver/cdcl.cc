@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/log.h"
+#include "common/progress.h"
 #include "common/str_util.h"
 #include "common/trace.h"
 #include "solver/sat_backend.h"
@@ -19,6 +21,10 @@ using sat_internal::Assign;
 using sat_internal::kMaxSatInstants;
 
 constexpr size_t kNoReason = static_cast<size_t>(-1);
+
+// Heartbeat cadence in work units (decisions + conflicts). A work-count
+// boundary, never a timer, so heartbeats replay deterministically.
+constexpr uint64_t kCdclProgressEvery = 64;
 
 // luby(2, x): the reluctant-doubling sequence 1 1 2 1 1 2 4 1 1 2 1 1 2
 // 4 8 ... governing the restart schedule.
@@ -181,12 +187,20 @@ class CdclSearch {
     size_t conflicts_this_restart = 0;
     size_t reduce_limit =
         std::max(kCdclReduceFloor, inst_.clauses.size() / 3);
+    progress::ScopedSolve solve_guard;
+    progress::ProgressReporter progress("cdcl", kCdclProgressEvery);
 
     for (;;) {
       size_t confl = Propagate();
       if (confl != kNoReason) {
         ++stats.conflicts;
         ++conflicts_this_restart;
+        progress.Tick(
+            stats.decisions + stats.conflicts,
+            {{"conflicts", static_cast<double>(stats.conflicts)},
+             {"decisions", static_cast<double>(stats.decisions)},
+             {"learned", static_cast<double>(stats.learned_clauses)},
+             {"restarts", static_cast<double>(stats.restarts)}});
         if (DecisionLevel() == 0) {
           out.satisfiable = false;  // conflict with no decisions: UNSAT
           Finish(out);
@@ -262,8 +276,21 @@ class CdclSearch {
       }
 
       ++stats.decisions;
+      progress.Tick(
+          stats.decisions + stats.conflicts,
+          {{"conflicts", static_cast<double>(stats.conflicts)},
+           {"decisions", static_cast<double>(stats.decisions)},
+           {"learned", static_cast<double>(stats.learned_clauses)},
+           {"restarts", static_cast<double>(stats.restarts)}});
       if (options_.max_decisions > 0 &&
           stats.decisions > options_.max_decisions) {
+        PSO_LOG(WARN)
+                .Field("engine", "cdcl")
+                .Field("budget", static_cast<uint64_t>(options_.max_decisions))
+                .Field("conflicts", static_cast<uint64_t>(stats.conflicts))
+                .Field("learned",
+                       static_cast<uint64_t>(stats.learned_clauses))
+            << "SAT decision budget exceeded";
         return Status::ResourceExhausted(
             StrFormat("SAT decision budget of %zu exceeded (cdcl)",
                       options_.max_decisions));

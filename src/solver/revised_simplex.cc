@@ -21,6 +21,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/progress.h"
 #include "common/str_util.h"
 #include "common/trace.h"
 #include "solver/lp_backend.h"
@@ -41,6 +42,10 @@ constexpr double kPivotTol = 1e-7;   // Minimum acceptable pivot magnitude.
 constexpr double kFeasTol = 1e-7;    // Per-variable bound violation slack.
 constexpr double kInfeasTol = 1e-6;  // Total violation => kInfeasible.
 constexpr size_t kMaxIterations = 200000;
+
+// Heartbeat cadence in simplex steps (pricing rounds). A work-count
+// boundary, never a timer, so heartbeats replay deterministically.
+constexpr uint64_t kProgressEvery = 256;
 
 // One product-form eta: the FTRAN image w = B^-1 A_q of an entering
 // column, split into the pivot element and the off-pivot nonzeros.
@@ -174,6 +179,7 @@ class SimplexState {
   // its place (basis repair). Returns false only if repair fails too.
   bool Refactorize() {
     metrics::GetCounter("lp.refactorizations").Add(1);
+    ++refactor_count_;
     etas_.clear();
     pivots_since_refactor_ = 0;
 
@@ -573,6 +579,8 @@ class SimplexState {
 
     size_t steps = 0;
     size_t degenerate_streak = 0;
+    progress::ScopedSolve solve_guard;
+    progress::ProgressReporter progress("simplex", kProgressEvery);
 
     // ---- Phase 1: drive out basic bound violations. ----
     // The span always opens, even for a feasible (crashed / warm) start:
@@ -600,6 +608,12 @@ class SimplexState {
         Status step = Step(pr.enter, /*phase1=*/true, &degenerate_streak,
                            &sink);
         if (!step.ok()) return step;
+        progress.Tick(
+            steps,
+            {{"pivots", static_cast<double>(iterations_)},
+             {"refactorizations", static_cast<double>(refactor_count_)},
+             {"objective", TotalViolation()},
+             {"phase", 1.0}});
       }
       scope.phase1_iterations = iterations_;
       scope.total_iterations = iterations_;
@@ -623,6 +637,12 @@ class SimplexState {
       Status step = Step(pr.enter, /*phase1=*/false, &degenerate_streak,
                          &sink);
       if (!step.ok()) return step;
+      progress.Tick(
+          steps,
+          {{"pivots", static_cast<double>(iterations_)},
+           {"refactorizations", static_cast<double>(refactor_count_)},
+           {"objective", Objective()},
+           {"phase", 2.0}});
       scope.total_iterations = iterations_;
     }
     scope.total_iterations = iterations_;
@@ -649,6 +669,7 @@ class SimplexState {
   }
 
   size_t iterations() const { return iterations_; }
+  size_t refactor_count() const { return refactor_count_; }
 
  private:
   size_t n_ = 0;
@@ -669,6 +690,7 @@ class SimplexState {
   std::vector<double> dual_;
   size_t pivots_since_refactor_ = 0;
   size_t iterations_ = 0;
+  size_t refactor_count_ = 0;
   size_t* pivot_work_;
 };
 

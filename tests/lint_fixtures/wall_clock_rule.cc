@@ -1,7 +1,10 @@
 // pso-lint-fixture-path: src/example/wall_clock_rule.cc
 //
 // Fixture for the `wall-clock` rule: calendar time leaks run-dependent
-// values into library output. steady_clock (monotonic durations) is fine.
+// values into library output. Monotonic clocks (steady_clock,
+// high_resolution_clock) are confined to the timing facade
+// (src/common/{metrics,trace,progress,parallel}); outside it they need
+// an explicit allow so latency measurement has one recording path.
 #include <chrono>
 #include <ctime>
 
@@ -12,16 +15,22 @@ long Bad() {
   return static_cast<long>(t) + c + now.time_since_epoch().count();
 }
 
+long BadMonotonic() {
+  auto a = std::chrono::steady_clock::now();         // lint-expect: wall-clock
+  auto b =
+      std::chrono::high_resolution_clock::now();     // lint-expect: wall-clock
+  return (b.time_since_epoch() - a.time_since_epoch()).count();
+}
+
 long Suppressed() {
-  return static_cast<long>(time(nullptr));  // pso-lint: allow(wall-clock)
+  long t = static_cast<long>(time(nullptr));  // pso-lint: allow(wall-clock)
+  auto a = std::chrono::steady_clock::now();  // pso-lint: allow(wall-clock)
+  return t + a.time_since_epoch().count();
 }
 
 long Clean() {
-  // Monotonic clocks are the sanctioned way to measure durations:
-  auto a = std::chrono::steady_clock::now();
-  auto b = std::chrono::steady_clock::now();
   // Identifiers containing "time"/"clock" as substrings never fire:
   long wall_time(long);
   long my_clock_skew = 0;
-  return (b - a).count() + wall_time(my_clock_skew);
+  return wall_time(my_clock_skew);
 }

@@ -1,14 +1,24 @@
 // Tests for the metrics registry: counter/timer/span semantics,
 // concurrent increments under ParallelFor (the TSan `parallel` lane runs
-// this suite), and merge determinism at 1 vs N threads.
+// this suite), merge determinism at 1 vs N threads, the log-bucketed
+// histogram (fixed boundaries, exact shard merges, quantile brackets),
+// and the JSON / Prometheus renderings.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <regex>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/rng.h"
+#include "proptest.h"
 
 namespace pso {
 namespace {
@@ -181,6 +191,285 @@ TEST(MetricsTest, SnapshotToTextListsEverySection) {
   EXPECT_NE(text.find("counters:"), std::string::npos);
   EXPECT_NE(text.find("timers:"), std::string::npos);
   EXPECT_NE(text.find("gauges:"), std::string::npos);
+}
+
+TEST(HistogramTest, RecordAndAccessors) {
+  metrics::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  h.Record(0.25);
+  h.Record(0.5);
+  h.Record(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 2.75, 1e-9);
+  EXPECT_EQ(h.min(), 0.25);
+  EXPECT_EQ(h.max(), 2.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_fp(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreFixedAndConsistent) {
+  using H = metrics::Histogram;
+  // Exact powers of two start their octave: the value IS the bucket's
+  // lower bound.
+  for (int e : {-12, -3, 0, 5, 20}) {
+    const double v = std::ldexp(1.0, e);
+    const int idx = H::BucketIndex(v);
+    EXPECT_EQ(H::BucketLowerBound(idx), v) << "e=" << e;
+  }
+  // Every sampled value lands in a bucket that brackets it.
+  for (double v : {1e-9, 3.7e-6, 0.001, 0.42, 1.0, 1.5, 777.25, 9.9e8}) {
+    const int idx = H::BucketIndex(v);
+    ASSERT_GT(idx, 0) << v;
+    ASSERT_LT(idx, H::kNumBuckets - 1) << v;
+    EXPECT_LE(H::BucketLowerBound(idx), v) << v;
+    EXPECT_LT(v, H::BucketUpperBound(idx)) << v;
+  }
+  // Boundaries tile: bucket i's upper bound is bucket i+1's lower bound.
+  for (int i = 1; i < H::kNumBuckets - 2; ++i) {
+    EXPECT_EQ(H::BucketUpperBound(i), H::BucketLowerBound(i + 1)) << i;
+  }
+}
+
+TEST(HistogramTest, UnderOverflowAndNonFiniteLandInEdgeBuckets) {
+  using H = metrics::Histogram;
+  EXPECT_EQ(H::BucketIndex(0.0), 0);
+  EXPECT_EQ(H::BucketIndex(-1.0), 0);
+  EXPECT_EQ(H::BucketIndex(std::nan("")), 0);
+  EXPECT_EQ(H::BucketIndex(std::ldexp(1.0, H::kMinExponent - 1)), 0);
+  EXPECT_EQ(H::BucketIndex(std::ldexp(1.0, H::kMaxExponent)),
+            H::kNumBuckets - 1);
+  EXPECT_EQ(H::BucketIndex(std::numeric_limits<double>::infinity()),
+            H::kNumBuckets - 1);
+
+  metrics::Histogram h;
+  h.Record(-3.0);
+  h.Record(0.0);
+  h.Record(std::nan(""));
+  h.Record(1.0);
+  EXPECT_EQ(h.count(), 4u);           // every Record counts
+  EXPECT_NEAR(h.sum(), 1.0, 1e-9);    // only positive finite values sum
+  EXPECT_EQ(h.min(), -3.0);           // NaN skipped, negatives tracked
+  EXPECT_EQ(h.max(), 1.0);
+}
+
+// The tentpole determinism claim: merging N per-shard histograms is
+// bit-identical to recording every value into one histogram — the whole
+// rendered snapshot matches, buckets, fixed-point sum, min/max and all.
+TEST(HistogramTest, MergeOfShardsIsBitIdenticalToSingleRecording) {
+  const size_t n = 10000;
+  auto value_at = [](size_t i) {
+    // Deterministic spread over several octaves, incl. edge cases.
+    if (i % 97 == 0) return 0.0;
+    return 1e-6 * static_cast<double>((i * 2654435761u) % 1000003);
+  };
+
+  metrics::Registry single;
+  metrics::Histogram& all = single.GetHistogram("lat");
+  for (size_t i = 0; i < n; ++i) all.Record(value_at(i));
+
+  const size_t kShards = 8;
+  std::vector<metrics::Registry> shards(kShards);
+  for (size_t i = 0; i < n; ++i) {
+    shards[i % kShards].GetHistogram("lat").Record(value_at(i));
+  }
+  metrics::Registry merged;
+  for (metrics::Registry& shard : shards) {
+    merged.MergeFrom(shard.TakeSnapshot());
+  }
+
+  EXPECT_EQ(metrics::SnapshotToJson(single.TakeSnapshot()),
+            metrics::SnapshotToJson(merged.TakeSnapshot()));
+}
+
+// Concurrent recording into one shared histogram: run under
+// PSO_SANITIZE=thread (the `parallel` ctest lane) to prove the CAS
+// min/max and atomic tallies race-free; the totals check exactness.
+TEST(HistogramTest, ConcurrentRecordingIsExact) {
+  metrics::Registry reg;
+  metrics::Histogram& h = reg.GetHistogram("lat");
+  const size_t n = 100000;
+  ThreadPool pool(4);
+  ParallelFor(&pool, n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      h.Record(1e-6 * static_cast<double>(i % 1024 + 1));
+    }
+  });
+  EXPECT_EQ(h.count(), n);
+  EXPECT_EQ(h.min(), 1e-6);
+  EXPECT_EQ(h.max(), 1024e-6);
+  uint64_t tally = 0;
+  const metrics::Snapshot snap = reg.TakeSnapshot();
+  for (const auto& [idx, c] : snap.histograms.at("lat").buckets) tally += c;
+  EXPECT_EQ(tally, n);
+}
+
+// Merge determinism at 1 vs N threads with worker-local registries —
+// the histogram analogue of MergeDeterminismOneVsManyThreads, gated on
+// the full JSON rendering (bucket tallies, sum_fp, min, max, quantiles).
+TEST(HistogramTest, OneVsManyThreadsBitIdentical) {
+  const size_t n = 20000;
+  auto run_at = [&](size_t threads) {
+    ThreadPool pool(threads);
+    const size_t chunk = DefaultChunkSize(n);
+    std::vector<metrics::Registry> locals(NumChunks(n, chunk));
+    ParallelFor(
+        &pool, n,
+        [&](size_t begin, size_t end) {
+          metrics::Histogram& h =
+              locals[begin / chunk].GetHistogram("work");
+          for (size_t i = begin; i < end; ++i) {
+            h.Record(0.5 + static_cast<double>(i % 331) / 256.0);
+          }
+        },
+        chunk);
+    metrics::Registry merged;
+    for (metrics::Registry& local : locals) {
+      merged.MergeFrom(local.TakeSnapshot());
+    }
+    return metrics::SnapshotToJson(merged.TakeSnapshot());
+  };
+  EXPECT_EQ(run_at(1), run_at(4));
+}
+
+// Quantile property: the estimate never under-reports (it is an upper
+// bound of the true empirical quantile) and overshoots by at most one
+// sub-bucket's relative width (12.5%), the histogram's resolution bound.
+TEST(HistogramTest, QuantileEstimateBracketsTrueQuantile) {
+  proptest::Config cfg{.master_seed = 0x4157, .iterations = 60,
+                       .max_scale = 2048};
+  EXPECT_TRUE(proptest::ForAll<std::vector<double>>(
+      cfg,
+      [](Rng& rng, size_t scale) {
+        std::vector<double> values;
+        const size_t n = 2 + static_cast<size_t>(rng.UniformInt(
+                                 1, static_cast<int64_t>(scale) + 1));
+        values.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          // Positive, spanning ~9 octaves — well inside the bucketed
+          // range so edge buckets don't blunt the resolution bound.
+          values.push_back(std::ldexp(1.0 + rng.UniformDouble(),
+                                      static_cast<int>(rng.UniformInt(-5, 4))));
+        }
+        return values;
+      },
+      [](const std::vector<double>& values) -> std::string {
+        metrics::Registry reg;
+        metrics::Histogram& h = reg.GetHistogram("q");
+        for (double v : values) h.Record(v);
+        const metrics::Snapshot::HistogramValue hv =
+            reg.TakeSnapshot().histograms.at("q");
+        std::vector<double> sorted = values;
+        std::sort(sorted.begin(), sorted.end());
+        for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+          const size_t rank = std::max<size_t>(
+              1, static_cast<size_t>(
+                     std::ceil(q * static_cast<double>(sorted.size()))));
+          const double truth = sorted[rank - 1];
+          const double est = hv.ValueAtQuantile(q);
+          const double bound =
+              1.0 + 1.0 / metrics::Histogram::kSubBuckets + 1e-12;
+          if (est < truth || est > truth * bound) {
+            return StrFormat(
+                "q=%.3f: estimate %.9g outside [truth, truth*%.4f] "
+                "(truth %.9g, n=%zu)",
+                q, est, bound, truth, sorted.size());
+          }
+        }
+        return "";
+      }));
+}
+
+// Satellite regression: hostile metric names (quotes, backslashes,
+// control characters) and non-finite values must not corrupt the JSON
+// document.
+TEST(MetricsTest, SnapshotToJsonEscapesHostileNamesAndNonFinite) {
+  metrics::Registry reg;
+  const std::string hostile = "bad\"name\\with\nnewline";
+  reg.GetCounter(hostile).Add(1);
+  reg.SetGauge("inf_gauge", std::numeric_limits<double>::infinity());
+  reg.SetGauge("nan_gauge", std::nan(""));
+  reg.GetHistogram("h").Record(0.5);
+  const std::string json = metrics::SnapshotToJson(reg.TakeSnapshot());
+  EXPECT_NE(json.find("\"bad\\\"name\\\\with\\nnewline\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"inf_gauge\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nan_gauge\": null"), std::string::npos) << json;
+  // No raw quote/backslash/newline from the name survives unescaped,
+  // and no inf/nan literal leaks into the document.
+  EXPECT_EQ(json.find("bad\"name"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find("inf"), json.find("inf_gauge"));
+  EXPECT_EQ(json.find("nan"), json.find("nan_gauge"));
+}
+
+TEST(MetricsTest, SnapshotToTextIncludesHistograms) {
+  metrics::Registry reg;
+  reg.GetHistogram("lat").Record(0.25);
+  const std::string text = metrics::SnapshotToText(reg.TakeSnapshot());
+  EXPECT_NE(text.find("histograms:"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+// Promtool-style validation: every non-comment line must be
+// `name{labels} value`, counters end in _total, histogram bucket series
+// are cumulative and end with le="+Inf" == _count.
+TEST(MetricsTest, ExpositionToPromParses) {
+  metrics::Registry reg;
+  reg.GetCounter("sat.conflicts").Add(42);
+  reg.SetGauge("pool.workers", 4.0);
+  reg.GetTimer("lp.solve").Record(0.5);
+  metrics::Histogram& h = reg.GetHistogram("lp.solve");
+  h.Record(0.001);
+  h.Record(0.002);
+  h.Record(0.25);
+  const std::string prom =
+      metrics::ExpositionToProm(reg.TakeSnapshot());
+
+  const std::regex help_re(R"(^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$)");
+  const std::regex type_re(
+      R"(^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|histogram)$)");
+  const std::regex sample_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? (NaN|[+-]?Inf|[0-9.eE+-]+)$)");
+
+  size_t lines = 0;
+  uint64_t last_cum = 0;
+  uint64_t inf_bucket = 0;
+  std::set<std::string> typed_names;
+  std::istringstream in(prom);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.rfind("# HELP", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, help_re)) << line;
+    } else if (line.rfind("# TYPE", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, type_re)) << line;
+      // A metric may be declared once; a timer + same-named histogram
+      // must not both publish (scrapers reject conflicting TYPEs).
+      const std::string declared =
+          line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(typed_names.insert(declared).second)
+          << "duplicate TYPE for " << declared;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+    }
+    if (line.rfind("lp_solve_seconds_bucket{le=", 0) == 0) {
+      const uint64_t cum =
+          std::stoull(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(cum, last_cum) << "buckets must be cumulative: " << line;
+      last_cum = cum;
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf_bucket = cum;
+    }
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_NE(prom.find("sat_conflicts_total 42"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("pool_workers 4"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lp_solve_seconds_count 3"), std::string::npos) << prom;
+  EXPECT_EQ(inf_bucket, 3u) << "le=\"+Inf\" must equal _count";
 }
 
 TEST(MetricsTest, PoolGaugesPublishWorkerDistribution) {

@@ -1,0 +1,166 @@
+// Tests for solver progress heartbeats and the stall watchdog: the
+// deterministic work-count cadence, the final destructor beat (tiny
+// budgets still leave evidence), trace instants, and watchdog stall
+// detection. The watchdog spawns a real thread, so this suite also runs
+// in the TSan `parallel` lane.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/progress.h"
+#include "common/trace.h"
+
+namespace pso {
+namespace {
+
+uint64_t GlobalCounter(const std::string& name) {
+  return metrics::Registry::Global().TakeSnapshot().counters[name];
+}
+
+TEST(ProgressReporterTest, HeartbeatsAtWorkCountCadence) {
+  progress::ProgressReporter reporter("test", /*every=*/10);
+  for (uint64_t work = 1; work <= 35; ++work) {
+    reporter.Tick(work, {{"work", static_cast<double>(work)}});
+  }
+  // Boundaries crossed at 10, 20, 30 — deterministic in the work count,
+  // independent of how long the loop took.
+  EXPECT_EQ(reporter.heartbeats(), 3u);
+}
+
+TEST(ProgressReporterTest, BurstyWorkEmitsOneBeatNotABacklog) {
+  progress::ProgressReporter reporter("test", /*every=*/10);
+  reporter.Tick(95, {});  // one jump over nine boundaries
+  EXPECT_EQ(reporter.heartbeats(), 1u);
+  reporter.Tick(99, {});  // next boundary is 100, not 20
+  EXPECT_EQ(reporter.heartbeats(), 1u);
+  reporter.Tick(100, {});
+  EXPECT_EQ(reporter.heartbeats(), 2u);
+}
+
+TEST(ProgressReporterTest, DestructorEmitsFinalBeatForTinyBudgets) {
+  const uint64_t before = GlobalCounter("progress.heartbeats");
+  {
+    progress::ProgressReporter reporter("tiny", /*every=*/1000);
+    reporter.Tick(3, {{"conflicts", 3.0}});
+    EXPECT_EQ(reporter.heartbeats(), 0u);  // never reached the cadence
+  }
+  // The destructor still emitted one "final" heartbeat.
+  EXPECT_EQ(GlobalCounter("progress.heartbeats"), before + 1);
+}
+
+TEST(ProgressReporterTest, NoWorkMeansNoFinalBeat) {
+  const uint64_t before = GlobalCounter("progress.heartbeats");
+  { progress::ProgressReporter reporter("idle", /*every=*/10); }
+  EXPECT_EQ(GlobalCounter("progress.heartbeats"), before);
+}
+
+TEST(ProgressReporterTest, HeartbeatInstantsCarryEngineAndStats) {
+  trace::Collector::Global().Enable();
+  {
+    progress::ProgressReporter reporter("cdcl", /*every=*/5);
+    reporter.Tick(5, {{"conflicts", 5.0}, {"decisions", 12.0}});
+  }
+  std::vector<trace::Event> events = trace::Collector::Global().TakeEvents();
+  trace::Collector::Global().Disable();
+
+  int ticks = 0;
+  int finals = 0;
+  for (const trace::Event& e : events) {
+    if (e.name != "progress.heartbeat") continue;
+    bool engine_ok = false;
+    std::string phase;
+    for (const auto& [k, v] : e.args) {
+      if (k == "engine" && v == "cdcl") engine_ok = true;
+      if (k == "phase") phase = v;
+      if (k == "conflicts") EXPECT_EQ(v, "5");
+    }
+    EXPECT_TRUE(engine_ok);
+    if (phase == "tick") ++ticks;
+    if (phase == "final") ++finals;
+  }
+  EXPECT_EQ(ticks, 1);
+  EXPECT_EQ(finals, 1);
+}
+
+TEST(WatchdogTest, ArmDisarmLifecycle) {
+  progress::Watchdog& dog = progress::Watchdog::Global();
+  EXPECT_FALSE(dog.armed());
+  dog.Start(50);
+  EXPECT_TRUE(dog.armed());
+  dog.Start(50);  // idempotent while armed
+  EXPECT_TRUE(dog.armed());
+  dog.Stop();
+  EXPECT_FALSE(dog.armed());
+  dog.Stop();  // safe when already stopped
+  dog.Start(0);  // <= 0 disarms instead of arming
+  EXPECT_FALSE(dog.armed());
+}
+
+TEST(WatchdogTest, FlagsStallWhenActiveSolveStopsTicking) {
+  progress::Watchdog& dog = progress::Watchdog::Global();
+  dog.Start(20);
+  {
+    progress::ScopedSolve solve;  // active solve, never ticks
+    // Sleep in test code only: we are deliberately simulating a wedged
+    // solver so the wall-clock watchdog has something to catch.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }
+  dog.Stop();
+  EXPECT_GE(dog.stalls(), 1u);
+}
+
+TEST(WatchdogTest, NoStallWhileHeartbeatsFlow) {
+  progress::Watchdog& dog = progress::Watchdog::Global();
+  dog.Start(30);
+  {
+    progress::ScopedSolve solve;
+    progress::ProgressReporter reporter("live", /*every=*/1);
+    for (int i = 1; i <= 15; ++i) {
+      reporter.Tick(static_cast<uint64_t>(i), {});
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  dog.Stop();
+  EXPECT_EQ(dog.stalls(), 0u);
+}
+
+TEST(WatchdogTest, IdleProcessIsNotStalled) {
+  progress::Watchdog& dog = progress::Watchdog::Global();
+  dog.Start(20);
+  // No active solves: intervals elapse but nothing is "stalled".
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  dog.Stop();
+  EXPECT_EQ(dog.stalls(), 0u);
+}
+
+TEST(WatchdogTest, StallEmitsResourceExhaustedDiagnostic) {
+  log::SetMinLevel(log::kWARN);
+  log::CaptureToString(true);
+  trace::Collector::Global().Enable();
+  progress::Watchdog& dog = progress::Watchdog::Global();
+  dog.Start(20);
+  {
+    progress::ScopedSolve solve;
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }
+  dog.Stop();
+  const std::string logs = log::TakeCaptured();
+  log::CaptureToString(false);
+  std::vector<trace::Event> events = trace::Collector::Global().TakeEvents();
+  trace::Collector::Global().Disable();
+
+  EXPECT_NE(logs.find("RESOURCE_EXHAUSTED"), std::string::npos) << logs;
+  bool stall_instant = false;
+  for (const trace::Event& e : events) {
+    if (e.name == "watchdog.stall") stall_instant = true;
+  }
+  EXPECT_TRUE(stall_instant);
+}
+
+}  // namespace
+}  // namespace pso

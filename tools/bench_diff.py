@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regression gate over the deterministic bench counters.
 
-Every bench harness writes a BENCH_<name>.json report (schema_version 2,
+Every bench harness writes a BENCH_<name>.json report (schema_version 3,
 see EXPERIMENTS.md). The "metrics"/"counters" object is the deterministic
 section: same seed => identical values on every run and every machine, so
 it can be diffed exactly. This tool compares fresh reports against the
@@ -9,10 +9,17 @@ committed baselines in bench/baselines/ and fails on any counter drift —
 an unexplained change in solver pivots, SAT decisions, or samples drawn
 is a behavior change, not noise.
 
-Counters under run-shaped prefixes (parallel.*, pool.* by default) and
-everything run-dependent (wall clock, timers, gauges, RSS, git_sha) are
-reported but never gate. Wall-clock deltas are printed for information
-only.
+Counters under run-shaped prefixes (parallel.*, pool.*, watchdog.* by
+default) and everything run-dependent (wall clock, timers, gauges, RSS,
+git_sha) are reported but never gate. Wall-clock deltas are printed for
+information only.
+
+Histograms (schema_version 3) gate only on their event counts: the
+number of lp.solve / sat.solve / bench.main_loop events is deterministic
+given the seed, while the latency values inside the buckets — and hence
+the quantiles (p50..p999), sum, mean, min, max, the bucket distribution,
+and the derived "throughput" section — are wall-clock artifacts and are
+never compared.
 
 Usage:
   # gate (CI): compare build/bench/BENCH_*.json against bench/baselines/
@@ -37,8 +44,8 @@ import json
 import os
 import sys
 
-DEFAULT_SKIP_PREFIXES = ["parallel.", "pool."]
-SCHEMA_VERSION = 2
+DEFAULT_SKIP_PREFIXES = ["parallel.", "pool.", "watchdog."]
+SCHEMA_VERSION = 3
 
 
 def load_report(path):
@@ -61,6 +68,16 @@ def filtered_counters(report, skip_prefixes):
     }
 
 
+def histogram_counts(report, skip_prefixes):
+    """Per-histogram event counts — the only gateable histogram field."""
+    histograms = report.get("metrics", {}).get("histograms", {})
+    return {
+        name: value.get("count", 0)
+        for name, value in histograms.items()
+        if not any(name.startswith(p) for p in skip_prefixes)
+    }
+
+
 def baseline_document(report, skip_prefixes):
     """The stable subset of a report that gets committed as the baseline."""
     return {
@@ -68,6 +85,7 @@ def baseline_document(report, skip_prefixes):
         "bench": report.get("bench", ""),
         "experiment": report.get("experiment", ""),
         "counters": filtered_counters(report, skip_prefixes),
+        "histogram_counts": histogram_counts(report, skip_prefixes),
     }
 
 
@@ -126,8 +144,10 @@ def main():
     parser.add_argument(
         "--allow-new-counters",
         action="store_true",
-        help="report counters absent from the baseline without failing "
-        "(for changes that add instrumentation before the baseline refresh)",
+        help="report counters and histogram event counts absent from the "
+        "baseline without failing (for changes that add instrumentation — "
+        "a new solver backend's counters, a newly wired latency histogram "
+        "— before the baseline refresh lands)",
     )
     args = parser.parse_args()
 
@@ -178,6 +198,15 @@ def main():
             notes,
             allow_new=args.allow_new_counters,
         )
+        problems += [
+            f"histogram {line}"
+            for line in diff_counters(
+                baseline.get("histogram_counts", {}),
+                histogram_counts(report, skip_prefixes),
+                notes,
+                allow_new=args.allow_new_counters,
+            )
+        ]
         if report.get("checks_failed", 0):
             problems.append(f"{report['checks_failed']} shape check(s) failed")
         if baseline.get("experiment") != report.get("experiment"):
@@ -194,7 +223,11 @@ def main():
             failures += 1
         else:
             n = len(filtered_counters(report, skip_prefixes))
-            print(f"OK   {bench}: {n} counters match (wall {wall:.2f}s)")
+            h = len(histogram_counts(report, skip_prefixes))
+            print(
+                f"OK   {bench}: {n} counters + {h} histogram counts match "
+                f"(wall {wall:.2f}s)"
+            )
         for note in notes:
             print(f"     {note}")
 

@@ -11,9 +11,15 @@ rules:
                         with an explicit seed; streams derive from
                         (seed, index) so results replay exactly.
   wall-clock            Wall-clock reads (time(), system_clock,
-                        gettimeofday, ...) in library code. steady_clock
-                        is fine (durations); calendar time is not — it
-                        leaks run-dependent values into output.
+                        gettimeofday, ...) in library code: calendar time
+                        leaks run-dependent values into output. Monotonic
+                        clocks (steady_clock, high_resolution_clock) are
+                        confined to the timing facade —
+                        src/common/{metrics,trace,progress,parallel} —
+                        so all latency measurement flows through
+                        metrics::Timer / histograms / trace spans;
+                        elsewhere they need an explicit
+                        `// pso-lint: allow(wall-clock)`.
   unordered-iteration   Range-for over a std::unordered_{map,set}
                         variable. Hash-iteration order is not a pure
                         function of the data, so anything built from it
@@ -166,7 +172,8 @@ def scope_nodiscard_status(rel):
 
 
 # ---------------------------------------------------------------------------
-# Rule checkers: (stripped_lines, stripped_text) -> [(line_no, message)].
+# Rule checkers: (stripped_lines, stripped_text, rel_path)
+#     -> [(line_no, message)].
 # ---------------------------------------------------------------------------
 
 RAND_RE = re.compile(
@@ -176,7 +183,7 @@ RAND_RE = re.compile(
 )
 
 
-def check_rand(lines, _text):
+def check_rand(lines, _text, _rel):
     out = []
     for no, line in enumerate(lines, 1):
         for m in RAND_RE.finditer(line):
@@ -197,13 +204,33 @@ WALL_CLOCK_RE = re.compile(
     r"(?<![\w.])((?:\w+\s*::\s*)+)?"
     r"(time|clock|gettimeofday|clock_gettime|localtime|gmtime|"
     r"strftime|ctime|mktime)\s*\("
-    r"|\bsystem_clock\b|\bhigh_resolution_clock\b"
+    r"|\bsystem_clock\b"
+)
+MONOTONIC_CLOCK_RE = re.compile(
+    r"\bsteady_clock\b|\bhigh_resolution_clock\b"
+)
+# The timing facade: the only files that may read monotonic clocks
+# directly. Everything else routes timing through metrics::Timer /
+# metrics::Histogram / trace spans so latency has one recording path.
+MONOTONIC_CLOCK_FACADE = (
+    "src/common/metrics",
+    "src/common/trace",
+    "src/common/progress",
+    "src/common/parallel",
 )
 
 
-def check_wall_clock(lines, _text):
+def _in_monotonic_facade(rel):
+    p = rel.replace(os.sep, "/")
+    return any(p.startswith(pre + ".") or p.startswith(pre + "/")
+               for pre in MONOTONIC_CLOCK_FACADE)
+
+
+def check_wall_clock(lines, _text, rel):
     out = []
+    facade = _in_monotonic_facade(rel)
     for no, line in enumerate(lines, 1):
+        reported = False
         for m in WALL_CLOCK_RE.finditer(line):
             if m.group(2):
                 qualifier = (m.group(1) or "").replace(" ", "")
@@ -213,9 +240,18 @@ def check_wall_clock(lines, _text):
             else:
                 what = m.group(0).strip()
             out.append((no, f"wall-clock source `{what}` in library code; "
-                            "results must not depend on calendar time "
-                            "(steady_clock durations are fine)"))
+                            "results must not depend on calendar time"))
+            reported = True
             break
+        if reported or facade:
+            continue
+        m = MONOTONIC_CLOCK_RE.search(line)
+        if m:
+            out.append((no, f"monotonic clock `{m.group(0)}` outside the "
+                            "timing facade (src/common/{metrics,trace,"
+                            "progress,parallel}); route timing through "
+                            "metrics::Timer / metrics::Histogram / trace "
+                            "spans"))
     return out
 
 
@@ -225,7 +261,7 @@ UNORDERED_DECL_RE = re.compile(
 RANGE_FOR_RE = re.compile(r"for\s*\([^;()]*?:\s*(?:this->)?(\w+)\s*\)")
 
 
-def check_unordered_iteration(lines, text):
+def check_unordered_iteration(lines, text, _rel):
     names = set(UNORDERED_DECL_RE.findall(text))
     if not names:
         return []
@@ -248,7 +284,7 @@ BARE_MUTEX_RE = re.compile(
 )
 
 
-def check_bare_mutex(lines, _text):
+def check_bare_mutex(lines, _text, _rel):
     out = []
     for no, line in enumerate(lines, 1):
         m = BARE_MUTEX_RE.search(line)
@@ -263,7 +299,7 @@ def check_bare_mutex(lines, _text):
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 
 
-def check_assert(lines, _text):
+def check_assert(lines, _text, _rel):
     out = []
     for no, line in enumerate(lines, 1):
         if ASSERT_RE.search(line):
@@ -279,7 +315,7 @@ NODISCARD_DECL_RE = re.compile(
 DECL_BOUNDARY_RE = re.compile(r"[;{}]|\bpublic\s*:|\bprivate\s*:|\bprotected\s*:")
 
 
-def check_nodiscard_status(lines, text):
+def check_nodiscard_status(lines, text, _rel):
     out = []
     for m in NODISCARD_DECL_RE.finditer(text):
         name = m.group(2)
@@ -333,7 +369,7 @@ def lint_text(rel_path, raw_text):
     for rule, in_scope, checker in RULES:
         if not in_scope(rel_path):
             continue
-        for line_no, message in checker(lines, stripped):
+        for line_no, message in checker(lines, stripped, rel_path):
             allowed = supp.get(line_no, set())
             if rule in allowed or "all" in allowed:
                 continue

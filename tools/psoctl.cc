@@ -19,8 +19,16 @@
 // results merge in a fixed order, so --threads changes only wall clock.
 //
 // --metrics dumps the global metric registry (solver counters, spans,
-// pool gauges) after the subcommand finishes. Counters are deterministic
-// given --seed and --threads; timers and gauges are wall-clock artifacts.
+// latency histograms, pool gauges) after the subcommand finishes.
+// --metrics-format {text,json,prom} selects the rendering (default text;
+// prom is Prometheus exposition text). Counters and histogram bucket
+// tallies are deterministic given --seed and --threads; timers, gauges
+// and latency values are wall-clock artifacts.
+//
+// --solver-watchdog-ms N arms a stall watchdog: any interval of N ms in
+// which an active solver reports no progress heartbeat is flagged with a
+// RESOURCE_EXHAUSTED-style diagnostic log line and a watchdog.stall trace
+// instant (0 = disabled).
 //
 // --trace FILE records a hierarchical execution trace (pipeline spans,
 // per-chunk parallel regions, LP pivot / SAT decision events) and writes
@@ -48,6 +56,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/progress.h"
 #include "common/str_util.h"
 #include "common/table.h"
 #include "common/trace.h"
@@ -89,6 +98,8 @@ const std::vector<FlagSpec> kCommonFlags = {
     {"threads", FlagSpec::Type::kInt},
     {"seed", FlagSpec::Type::kInt},
     {"metrics", FlagSpec::Type::kBool},
+    {"metrics-format", FlagSpec::Type::kString},
+    {"solver-watchdog-ms", FlagSpec::Type::kInt},
     {"trace", FlagSpec::Type::kString},
     {"log-level", FlagSpec::Type::kString},
     {"lp-backend", FlagSpec::Type::kString},
@@ -462,6 +473,19 @@ int Main(int argc, char** argv) {
       return Usage();
     }
   }
+  const std::string metrics_format = flags.GetString("metrics-format", "text");
+  if (metrics_format != "text" && metrics_format != "json" &&
+      metrics_format != "prom") {
+    std::fprintf(stderr,
+                 "psoctl: invalid --metrics-format '%s' "
+                 "(use text|json|prom)\n",
+                 metrics_format.c_str());
+    return Usage();
+  }
+  const int64_t watchdog_ms = flags.GetInt("solver-watchdog-ms", 0);
+  if (watchdog_ms > 0) {
+    progress::Watchdog::Global().Start(watchdog_ms);
+  }
   const std::string trace_path = flags.GetString("trace", "");
   if (!trace_path.empty()) {
     trace::Collector::Global().Enable();
@@ -470,11 +494,17 @@ int Main(int argc, char** argv) {
   }
 
   int rc = Dispatch(command, flags);
+  if (watchdog_ms > 0) progress::Watchdog::Global().Stop();
   if (flags.GetBool("metrics", false)) {
-    std::printf("\n-- metric registry --\n%s",
-                metrics::SnapshotToText(
-                    metrics::Registry::Global().TakeSnapshot())
-                    .c_str());
+    const metrics::Snapshot snap = metrics::Registry::Global().TakeSnapshot();
+    if (metrics_format == "json") {
+      std::printf("%s\n", metrics::SnapshotToJson(snap).c_str());
+    } else if (metrics_format == "prom") {
+      std::printf("%s", metrics::ExpositionToProm(snap).c_str());
+    } else {
+      std::printf("\n-- metric registry --\n%s",
+                  metrics::SnapshotToText(snap).c_str());
+    }
   }
   if (!trace_path.empty()) {
     if (trace::Collector::Global().WriteChromeJson(trace_path)) {
