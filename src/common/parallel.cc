@@ -205,6 +205,39 @@ void ParallelFor(ThreadPool* pool, size_t n,
   if (state->error) std::rethrow_exception(state->error);
 }
 
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    MutexLock lock(mu_);
+    ++pending_;
+  }
+  if (pool_ == nullptr || pool_->num_threads() == 0) {
+    RunOne(task);
+    return;
+  }
+  auto shared = std::make_shared<std::function<void()>>(std::move(task));
+  pool_->Submit([this, shared] { RunOne(*shared); });
+}
+
+void TaskGroup::RunOne(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  MutexLock lock(mu_);
+  if (--pending_ == 0) idle_cv_.NotifyAll();
+}
+
+void TaskGroup::Wait() {
+  MutexLock lock(mu_);
+  while (pending_ != 0) idle_cv_.Wait(mu_);
+}
+
+size_t TaskGroup::pending() const {
+  MutexLock lock(mu_);
+  return pending_;
+}
+
 void RecordPoolGauges(const ThreadPool* pool) {
   if (pool == nullptr || pool->num_threads() == 0) return;
   std::vector<uint64_t> counts = pool->WorkerTaskCounts();

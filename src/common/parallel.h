@@ -104,6 +104,57 @@ void ParallelFor(ThreadPool* pool, size_t n,
 /// worker assignment is a scheduler accident. No-op for a null pool.
 void RecordPoolGauges(const ThreadPool* pool);
 
+/// Tracks a set of independent tasks submitted to a pool and lets the
+/// owner block until all of them have finished — the completion-tracking
+/// layer ThreadPool itself deliberately lacks (its queue drains only at
+/// destruction). Long-running services use one TaskGroup per logical
+/// stream of async work (a request batch executor, a connection handler
+/// set) so they can drain in-flight work without tearing the pool down.
+///
+/// With a null pool, Submit runs the task inline on the calling thread —
+/// the exact serial behavior, mirroring ParallelFor's contract. Tasks may
+/// Submit further tasks onto the same group. Wait() returns once every
+/// submitted task (including ones submitted while waiting) has finished.
+/// Not a barrier for reuse: Wait() may be called repeatedly, and Submit
+/// stays valid after a Wait.
+///
+/// Exceptions thrown by tasks are swallowed after being counted (the
+/// failed() count); services must report failures through their own
+/// Status plumbing, not by unwinding a worker.
+class TaskGroup {
+ public:
+  /// Binds the group to `pool` (null = run every task inline).
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Waits for stragglers so task captures never dangle.
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Runs `task` on the pool (or inline when the pool is null).
+  void Submit(std::function<void()> task) PSO_EXCLUDES(mu_);
+
+  /// Blocks until every submitted task has completed.
+  void Wait() PSO_EXCLUDES(mu_);
+
+  /// Tasks currently submitted-but-unfinished (racy snapshot; for tests
+  /// and gauges).
+  size_t pending() const PSO_EXCLUDES(mu_);
+
+  /// Tasks that terminated by throwing (their exceptions are dropped).
+  uint64_t failed() const { return failed_.load(std::memory_order_relaxed); }
+
+ private:
+  void RunOne(const std::function<void()>& task) PSO_EXCLUDES(mu_);
+
+  ThreadPool* pool_;
+  mutable Mutex mu_;
+  CondVar idle_cv_;
+  size_t pending_ PSO_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> failed_{0};
+};
+
 }  // namespace pso
 
 #endif  // PSO_COMMON_PARALLEL_H_

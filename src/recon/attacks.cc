@@ -139,7 +139,24 @@ Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
 Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
                                      size_t num_queries, Rng& rng,
                                      const LpDecodeOptions& options) {
-  const size_t n = oracle.n();
+  QuerySet qs = DrawRandomQueries(oracle, num_queries, rng);
+  return LpDecodeRecorded(oracle.n(), qs.queries, qs.answers, options);
+}
+
+Result<Reconstruction> LpDecodeRecorded(size_t n,
+                                        const std::vector<SubsetQuery>& queries,
+                                        const std::vector<double>& answers,
+                                        const LpDecodeOptions& options) {
+  const size_t num_queries = queries.size();
+  if (answers.size() != num_queries) {
+    return Status::InvalidArgument(
+        "transcript shape mismatch: queries != answers");
+  }
+  for (const SubsetQuery& q : queries) {
+    if (q.size() != n) {
+      return Status::InvalidArgument("transcript query length != n");
+    }
+  }
   metrics::GetCounter("recon.lp_decodes").Add(1);
   metrics::GetCounter("recon.queries").Add(num_queries);
   trace::Span decode_span("recon.lp_decode");
@@ -147,7 +164,6 @@ Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
     decode_span.Arg("n", std::to_string(n));
     decode_span.Arg("queries", std::to_string(num_queries));
   }
-  QuerySet qs = DrawRandomQueries(oracle, num_queries, rng);
 
   LpProblem lp;
   // Residual-splitting L1 fit: minimize sum_j (u_j + v_j) subject to
@@ -161,11 +177,11 @@ Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
     size_t v = lp.AddVariable(0.0, LpProblem::kInfinity, 1.0);
     std::vector<std::pair<size_t, double>> row;
     for (size_t i = 0; i < n; ++i) {
-      if (qs.queries[j][i] != 0) row.emplace_back(x_vars[i], 1.0);
+      if (queries[j][i] != 0) row.emplace_back(x_vars[i], 1.0);
     }
     row.emplace_back(u, 1.0);
     row.emplace_back(v, -1.0);
-    lp.AddConstraint(row, Relation::kEqual, qs.answers[j]);
+    lp.AddConstraint(row, Relation::kEqual, answers[j]);
   }
 
   const std::string backend_name =
@@ -191,12 +207,24 @@ Result<Reconstruction> LpReconstruct(SubsetSumOracle& oracle,
 Reconstruction LeastSquaresReconstruct(SubsetSumOracle& oracle,
                                        size_t num_queries, Rng& rng,
                                        size_t iterations) {
-  const size_t n = oracle.n();
+  QuerySet qs = DrawRandomQueries(oracle, num_queries, rng);
+  return LeastSquaresDecodeRecorded(oracle.n(), qs.queries, qs.answers,
+                                    iterations);
+}
+
+Reconstruction LeastSquaresDecodeRecorded(
+    size_t n, const std::vector<SubsetQuery>& queries,
+    const std::vector<double>& answers, size_t iterations) {
+  const size_t num_queries = queries.size();
+  PSO_CHECK_MSG(answers.size() == num_queries,
+                "transcript shape mismatch: queries != answers");
+  for (const SubsetQuery& q : queries) {
+    PSO_CHECK_MSG(q.size() == n, "transcript query length != n");
+  }
   metrics::GetCounter("recon.lsq_decodes").Add(1);
   metrics::GetCounter("recon.queries").Add(num_queries);
   metrics::ScopedSpan span("recon.lsq_decode");
   PSO_TRACE_SPAN("recon.lsq_decode");
-  QuerySet qs = DrawRandomQueries(oracle, num_queries, rng);
   const size_t m = num_queries;
 
   // Power iteration for the top eigenvalue of Q^T Q (sets the step size).
@@ -207,7 +235,7 @@ Reconstruction LeastSquaresReconstruct(SubsetSumOracle& oracle,
     for (size_t j = 0; j < m; ++j) {
       double s = 0.0;
       for (size_t i = 0; i < n; ++i) {
-        if (qs.queries[j][i] != 0) s += v[i];
+        if (queries[j][i] != 0) s += v[i];
       }
       qv[j] = s;
     }
@@ -215,7 +243,7 @@ Reconstruction LeastSquaresReconstruct(SubsetSumOracle& oracle,
     for (size_t j = 0; j < m; ++j) {
       if (qv[j] == 0.0) continue;
       for (size_t i = 0; i < n; ++i) {
-        if (qs.queries[j][i] != 0) w[i] += qv[j];
+        if (queries[j][i] != 0) w[i] += qv[j];
       }
     }
     double norm = 0.0;
@@ -234,14 +262,14 @@ Reconstruction LeastSquaresReconstruct(SubsetSumOracle& oracle,
     for (size_t j = 0; j < m; ++j) {
       double s = 0.0;
       for (size_t i = 0; i < n; ++i) {
-        if (qs.queries[j][i] != 0) s += x[i];
+        if (queries[j][i] != 0) s += x[i];
       }
-      residual[j] = s - qs.answers[j];
+      residual[j] = s - answers[j];
     }
     for (size_t i = 0; i < n; ++i) {
       double g = 0.0;
       for (size_t j = 0; j < m; ++j) {
-        if (qs.queries[j][i] != 0) g += residual[j];
+        if (queries[j][i] != 0) g += residual[j];
       }
       x[i] -= step * g;
       if (x[i] < 0.0) x[i] = 0.0;

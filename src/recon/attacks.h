@@ -78,6 +78,24 @@ Reconstruction LeastSquaresReconstruct(SubsetSumOracle& oracle,
                                        size_t num_queries, Rng& rng,
                                        size_t iterations = 400);
 
+/// LP decoding over a RECORDED transcript: the attacker-as-client path.
+/// Instead of querying an oracle in-process, the caller supplies the
+/// (query, answer) pairs it observed from a live service (the Cohen–
+/// Nissim "Linear Program Reconstruction in Practice" loop) and the same
+/// residual-splitting L1 program is solved over them. `queries[j]` must
+/// all be indicator vectors of length `n`; `answers[j]` is the value the
+/// service released for query j.
+[[nodiscard]] Result<Reconstruction> LpDecodeRecorded(
+    size_t n, const std::vector<SubsetQuery>& queries,
+    const std::vector<double>& answers,
+    const LpDecodeOptions& options = LpDecodeOptions{});
+
+/// Least-squares decoding over a recorded transcript (see
+/// LpDecodeRecorded); scales to larger n than the LP on this substrate.
+Reconstruction LeastSquaresDecodeRecorded(
+    size_t n, const std::vector<SubsetQuery>& queries,
+    const std::vector<double>& answers, size_t iterations = 400);
+
 }  // namespace pso::recon
 
 #endif  // PSO_RECON_ATTACKS_H_

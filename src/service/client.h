@@ -1,0 +1,51 @@
+// The attacking client's TCP transport: one SocketTransport is one
+// connection to a running `psoctl serve` on 127.0.0.1. Batches are
+// pipelined — all Q lines are written in one send, then exactly one
+// response line is read back per query — which is what lets the server
+// group them into a single AnswerBatch call.
+
+#ifndef PSO_SERVICE_CLIENT_H_
+#define PSO_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/loadgen.h"
+#include "service/wire.h"
+
+namespace pso::service {
+
+/// QueryTransport over a loopback TCP connection.
+class SocketTransport final : public QueryTransport {
+ public:
+  /// Connects to 127.0.0.1:`port`. kUnimplemented on non-POSIX
+  /// platforms, kInternal when the connection is refused.
+  [[nodiscard]] static Result<std::unique_ptr<SocketTransport>> Connect(
+      int port);
+
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  [[nodiscard]] Result<ServiceInfo> Info() override;
+  [[nodiscard]] Result<std::vector<QueryOutcome>> IssueBatch(
+      uint64_t client, const std::vector<recon::SubsetQuery>& queries) override;
+
+ private:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+
+  /// Reads the next newline-terminated line (without the newline);
+  /// kInternal on EOF or a read error.
+  [[nodiscard]] Result<std::string> ReadLine();
+  [[nodiscard]] Status WriteAll(const std::string& data);
+
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace pso::service
+
+#endif  // PSO_SERVICE_CLIENT_H_

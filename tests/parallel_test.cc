@@ -166,6 +166,55 @@ TEST(ParallelForTest, StressManyTinyTasks) {
   EXPECT_EQ(sum.load(), static_cast<uint64_t>(kN) * (kN - 1) / 2);
 }
 
+TEST(TaskGroupTest, WaitsForAllSubmittedTasks) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    group.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_EQ(group.pending(), 0u);
+  // The group stays usable after a Wait.
+  group.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  group.Wait();
+  EXPECT_EQ(done.load(), kTasks + 1);
+}
+
+TEST(TaskGroupTest, NullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  int order = 0;
+  group.Submit([&order] { EXPECT_EQ(order++, 0); });
+  group.Submit([&order] { EXPECT_EQ(order++, 1); });
+  // Inline execution finished before Submit returned.
+  EXPECT_EQ(order, 2);
+  group.Wait();
+}
+
+TEST(TaskGroupTest, TasksMaySubmitFurtherTasks) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> done{0};
+  group.Submit([&group, &done] {
+    done.fetch_add(1, std::memory_order_relaxed);
+    group.Submit(
+        [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  });
+  group.Wait();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(TaskGroupTest, CountsThrowingTasksAsFailed) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Submit([] { throw std::runtime_error("task failure"); });
+  group.Submit([] {});
+  group.Wait();
+  EXPECT_EQ(group.failed(), 1u);
+}
+
 TEST(ParallelForTest, RepeatedRunsOnOnePool) {
   // Back-to-back loops on the same pool must not interfere.
   ThreadPool pool(3);

@@ -1,0 +1,410 @@
+// Tests for the query service stack: budget ledger semantics (including
+// the two-racers-one-epsilon ordering), transcript replay determinism at
+// any thread count, the wire protocol, and a loopback socket smoke test.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "dp/budget.h"
+#include "gtest/gtest.h"
+#include "recon/oracle.h"
+#include "service/client.h"
+#include "service/loadgen.h"
+#include "service/query_service.h"
+#include "service/server.h"
+#include "service/wire.h"
+
+namespace pso {
+namespace {
+
+using service::Decoder;
+using service::InProcessTransport;
+using service::LoadGenOptions;
+using service::QueryOutcome;
+using service::QueryService;
+using service::QueryServiceOptions;
+using service::Transcript;
+
+TEST(BudgetLedgerTest, ChargesUntilExhausted) {
+  dp::BudgetLedger ledger(1.0);
+  for (uint64_t k = 0; k < 4; ++k) {
+    Result<uint64_t> ordinal = ledger.Charge(7, 0.25);
+    ASSERT_TRUE(ordinal.ok());
+    EXPECT_EQ(*ordinal, k);  // ordinals are the per-client answer index
+  }
+  Result<uint64_t> over = ledger.Charge(7, 0.25);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ledger.ClientState(7).answered, 4u);
+  EXPECT_EQ(ledger.ClientState(7).rejected, 1u);
+  EXPECT_EQ(ledger.TotalAnswered(), 4u);
+  EXPECT_EQ(ledger.TotalRejected(), 1u);
+}
+
+TEST(BudgetLedgerTest, ClientsAreIndependent) {
+  dp::BudgetLedger ledger(0.5);
+  ASSERT_TRUE(ledger.Charge(1, 0.5).ok());
+  EXPECT_FALSE(ledger.Charge(1, 0.5).ok());
+  // Client 2's budget is untouched by client 1's exhaustion.
+  ASSERT_TRUE(ledger.Charge(2, 0.5).ok());
+}
+
+TEST(BudgetLedgerTest, RejectsNegativeEpsilon) {
+  dp::BudgetLedger ledger(1.0);
+  Result<uint64_t> bad = ledger.Charge(1, -0.1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BudgetLedgerTest, UnlimitedWhenCapNonPositive) {
+  dp::BudgetLedger ledger(0.0);
+  for (int k = 0; k < 100; ++k) ASSERT_TRUE(ledger.Charge(3, 10.0).ok());
+  EXPECT_EQ(ledger.TotalRejected(), 0u);
+}
+
+// Two threads race one client's LAST epsilon: whatever the interleaving,
+// exactly one wins the charge and exactly one gets kResourceExhausted.
+// Run under TSan (label: service) this also proves the ledger's locking.
+TEST(BudgetLedgerTest, TwoRacersForLastEpsilonExactlyOneRejected) {
+  for (int round = 0; round < 20; ++round) {
+    dp::BudgetLedger ledger(1.0);
+    ASSERT_TRUE(ledger.Charge(5, 0.5).ok());  // half the budget is gone
+    ThreadPool pool(2);
+    std::atomic<int> ok_count{0};
+    std::atomic<int> exhausted_count{0};
+    {
+      TaskGroup group(&pool);
+      for (int t = 0; t < 2; ++t) {
+        group.Submit([&ledger, &ok_count, &exhausted_count] {
+          Result<uint64_t> r = ledger.Charge(5, 0.5);
+          if (r.ok()) {
+            ok_count.fetch_add(1);
+          } else if (r.status().code() == StatusCode::kResourceExhausted) {
+            exhausted_count.fetch_add(1);
+          }
+        });
+      }
+      group.Wait();
+    }
+    EXPECT_EQ(ok_count.load(), 1);
+    EXPECT_EQ(exhausted_count.load(), 1);
+    EXPECT_EQ(ledger.ClientState(5).answered, 2u);
+    EXPECT_EQ(ledger.ClientState(5).rejected, 1u);
+  }
+}
+
+TEST(QueryServiceTest, ExactAnswersAreSubsetSums) {
+  std::vector<uint8_t> secret = {1, 0, 1, 1, 0, 0, 1, 0};
+  QueryService svc(secret, QueryServiceOptions{});
+  recon::SubsetQuery all(8, 1);
+  QueryOutcome a = svc.Answer(1, all);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(*a, 4.0);
+  recon::SubsetQuery none(8, 0);
+  a = svc.Answer(1, none);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(*a, 0.0);
+  QueryOutcome wrong = svc.Answer(1, recon::SubsetQuery(5, 1));
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, BatchStraddlingBudgetGetsPartialAnswers) {
+  QueryServiceOptions opts;
+  opts.eps_per_query = 0.5;
+  opts.client_budget_eps = 1.0;  // two queries fit
+  QueryService svc(std::vector<uint8_t>(16, 1), opts);
+  std::vector<recon::SubsetQuery> batch(5, recon::SubsetQuery(16, 1));
+  std::vector<QueryOutcome> outcomes = svc.AnswerBatch(9, batch);
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[1].ok());
+  for (size_t i = 2; i < 5; ++i) {
+    ASSERT_FALSE(outcomes[i].ok());
+    EXPECT_EQ(outcomes[i].status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(svc.queries_answered(), 2u);
+  EXPECT_EQ(svc.queries_rejected(), 3u);
+}
+
+// DP noise is keyed to (noise_seed, client, per-client ordinal): the
+// same client asking the same queries in the same order gets the same
+// released values in a fresh service instance.
+TEST(QueryServiceTest, NoiseIsReplayableFromSeeds) {
+  QueryServiceOptions opts;
+  opts.eps_per_query = 0.5;
+  opts.noise_seed = 42;
+  std::vector<uint8_t> secret = {1, 0, 1, 0, 1, 0};
+  recon::SubsetQuery q = {1, 1, 0, 0, 1, 1};
+  QueryService first(secret, opts);
+  QueryService second(secret, opts);
+  for (int k = 0; k < 5; ++k) {
+    QueryOutcome a = first.Answer(3, q);
+    QueryOutcome b = second.Answer(3, q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);  // bitwise: same stream, same ordinal
+  }
+  // A different client draws from a different stream.
+  QueryOutcome other = first.Answer(4, q);
+  ASSERT_TRUE(other.ok());
+  QueryOutcome replay = second.Answer(3, q);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_NE(*other, *replay);
+}
+
+Transcript MustRunLoad(QueryService* svc, ThreadPool* pool,
+                       size_t num_clients = 12, size_t qpc = 6) {
+  LoadGenOptions opts;
+  opts.n = svc->n();
+  opts.num_clients = num_clients;
+  opts.queries_per_client = qpc;
+  opts.batch_size = 4;
+  opts.query_seed = 99;
+  opts.pool = pool;
+  Result<Transcript> t = service::RunLoad(
+      opts, [svc](uint64_t) -> std::unique_ptr<service::QueryTransport> {
+        return std::make_unique<InProcessTransport>(svc);
+      });
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+// The tentpole determinism claim: the full recorded transcript is
+// bit-identical at any thread count, DP noise included.
+TEST(QueryServiceTest, TranscriptReplayIsThreadCountInvariant) {
+  QueryServiceOptions opts;
+  opts.eps_per_query = 0.25;
+  opts.client_budget_eps = 1.0;  // 4 of the 6 queries answered per client
+  opts.noise_seed = 7;
+  Rng rng(11);
+  std::vector<uint8_t> secret = recon::RandomBits(24, rng);
+
+  QueryService serial_svc(secret, opts);
+  Transcript serial = MustRunLoad(&serial_svc, nullptr);
+
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    QueryService svc(secret, opts);
+    Transcript parallel = MustRunLoad(&svc, &pool);
+    ASSERT_EQ(parallel.entries.size(), serial.entries.size());
+    for (size_t i = 0; i < serial.entries.size(); ++i) {
+      EXPECT_EQ(parallel.entries[i].query, serial.entries[i].query);
+      ASSERT_EQ(parallel.entries[i].answered, serial.entries[i].answered);
+      if (serial.entries[i].answered) {
+        // Bitwise-equal doubles, not approximately equal.
+        EXPECT_EQ(parallel.entries[i].answer, serial.entries[i].answer)
+            << "entry " << i;
+      } else {
+        EXPECT_EQ(parallel.entries[i].error, serial.entries[i].error);
+      }
+    }
+    EXPECT_EQ(parallel.answered(), serial.answered());
+    EXPECT_EQ(parallel.rejected(), serial.rejected());
+  }
+  // Budget arithmetic: 4 answered + 2 rejected per client, every client.
+  EXPECT_EQ(serial.answered(), 12u * 4u);
+  EXPECT_EQ(serial.rejected(), 12u * 2u);
+}
+
+TEST(QueryServiceTest, AsyncBatchExecutorMatchesDirectCalls) {
+  QueryServiceOptions opts;
+  opts.eps_per_query = 0.5;
+  opts.noise_seed = 3;
+  std::vector<uint8_t> secret = {1, 1, 0, 0, 1, 0, 1, 0};
+  std::vector<recon::SubsetQuery> batch = {{1, 1, 1, 1, 0, 0, 0, 0},
+                                           {0, 0, 1, 1, 1, 1, 0, 0}};
+  QueryService direct_svc(secret, opts);
+  std::vector<QueryOutcome> direct = direct_svc.AnswerBatch(1, batch);
+
+  ThreadPool pool(2);
+  QueryService async_svc(secret, opts);
+  service::AsyncBatchExecutor executor(&async_svc, &pool);
+  Mutex mu;
+  std::vector<QueryOutcome> async_outcomes;
+  executor.Submit(1, batch, [&](std::vector<QueryOutcome> got) {
+    MutexLock lock(mu);
+    async_outcomes = std::move(got);
+  });
+  executor.Drain();
+  MutexLock lock(mu);
+  ASSERT_EQ(async_outcomes.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_TRUE(async_outcomes[i].ok());
+    EXPECT_EQ(*async_outcomes[i], *direct[i]);
+  }
+}
+
+// Exact service -> perfect reconstruction from the transcript alone;
+// DP service -> degraded reconstruction and budget rejections.
+TEST(QueryServiceTest, TranscriptDecodeEndToEnd) {
+  Rng rng(5);
+  std::vector<uint8_t> secret = recon::RandomBits(24, rng);
+
+  QueryService exact(secret, QueryServiceOptions{});
+  Transcript exact_t = MustRunLoad(&exact, nullptr, /*num_clients=*/20,
+                                   /*qpc=*/8);
+  Result<recon::Reconstruction> exact_rec =
+      service::DecodeTranscript(exact_t, Decoder::kLp);
+  ASSERT_TRUE(exact_rec.ok()) << exact_rec.status().ToString();
+  EXPECT_DOUBLE_EQ(recon::FractionAgree(exact_rec->estimate, secret), 1.0);
+
+  QueryServiceOptions dp;
+  dp.eps_per_query = 0.1;  // heavy noise: scale-10 Laplace per answer
+  dp.client_budget_eps = 0.5;
+  dp.noise_seed = 6;
+  QueryService noisy(secret, dp);
+  Transcript noisy_t = MustRunLoad(&noisy, nullptr, /*num_clients=*/20,
+                                   /*qpc=*/8);
+  EXPECT_GT(noisy_t.rejected(), 0u);
+  Result<recon::Reconstruction> noisy_rec =
+      service::DecodeTranscript(noisy_t, Decoder::kLp);
+  ASSERT_TRUE(noisy_rec.ok()) << noisy_rec.status().ToString();
+  EXPECT_LT(recon::FractionAgree(noisy_rec->estimate, secret), 1.0);
+}
+
+TEST(QueryServiceTest, DecodeEmptyTranscriptFailsCleanly) {
+  Transcript empty;
+  empty.n = 8;
+  empty.num_clients = 1;
+  empty.queries_per_client = 1;
+  empty.entries.resize(1);  // recorded but never answered
+  Result<recon::Reconstruction> rec =
+      service::DecodeTranscript(empty, Decoder::kLeastSquares);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WireTest, QueryLineRoundTrips) {
+  recon::SubsetQuery q = {1, 0, 0, 1, 1};
+  std::string line = service::FormatQueryLine(12, q);
+  EXPECT_EQ(line, "Q 12 10011");
+  Result<service::WireQuery> parsed = service::ParseQueryLine(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->client, 12u);
+  EXPECT_EQ(parsed->query, q);
+  EXPECT_FALSE(service::ParseQueryLine("Q 12").ok());
+  EXPECT_FALSE(service::ParseQueryLine("Q x 101").ok());
+  EXPECT_FALSE(service::ParseQueryLine("Q 1 102").ok());
+}
+
+TEST(WireTest, AnswerLineRoundTripsExactly) {
+  const double value = 123.000000000000271;  // needs all 17 digits
+  std::string line = service::FormatAnswerLine(3, Result<double>(value));
+  Result<Result<double>> parsed = service::ParseAnswerLine(line);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->ok());
+  EXPECT_EQ(**parsed, value);  // bitwise round-trip through %.17g
+}
+
+TEST(WireTest, ErrorLineCarriesCodeAndMessage) {
+  Result<double> refusal(Status::ResourceExhausted("client 3 over budget"));
+  std::string line = service::FormatAnswerLine(3, refusal);
+  Result<Result<double>> parsed = service::ParseAnswerLine(line);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_FALSE(parsed->ok());
+  EXPECT_EQ(parsed->status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parsed->status().message(), "client 3 over budget");
+  EXPECT_FALSE(service::ParseAnswerLine("X 1 2").ok());
+}
+
+TEST(WireTest, InfoLineRoundTrips) {
+  service::ServiceInfo info;
+  info.n = 48;
+  info.eps_per_query = 0.25;
+  info.client_budget_eps = 2.0;
+  info.max_batch = 64;
+  Result<service::ServiceInfo> parsed =
+      service::ParseInfoLine(service::FormatInfoLine(info));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->n, 48u);
+  EXPECT_EQ(parsed->eps_per_query, 0.25);
+  EXPECT_EQ(parsed->client_budget_eps, 2.0);
+  EXPECT_EQ(parsed->max_batch, 64u);
+}
+
+// Socket smoke: serve on an ephemeral loopback port, attack through
+// SocketTransport, and require the socket transcript to match the
+// in-process transcript bit for bit. Skips when the sandbox forbids
+// loopback sockets.
+TEST(QueryServerTest, SocketTranscriptMatchesInProcess) {
+  QueryServiceOptions opts;
+  opts.eps_per_query = 0.25;
+  opts.client_budget_eps = 1.5;
+  opts.noise_seed = 21;
+  Rng rng(13);
+  std::vector<uint8_t> secret = recon::RandomBits(16, rng);
+
+  QueryService socket_svc(secret, opts);
+  ThreadPool handlers(2);
+  service::QueryServerOptions sopts;
+  sopts.pool = &handlers;
+  service::QueryServer server(&socket_svc, sopts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << started.ToString();
+  }
+  ThreadPool accept_thread(1);
+  TaskGroup accept_group(&accept_thread);
+  accept_group.Submit([&server] { server.Run(); });
+
+  const int port = server.port();
+  {
+    // Scoped: the probe connection must close before RequestShutdown,
+    // or the server (correctly) lingers until its idle-read timeout.
+    Result<std::unique_ptr<service::SocketTransport>> probe =
+        service::SocketTransport::Connect(port);
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    Result<service::ServiceInfo> info = (*probe)->Info();
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info->n, 16u);
+    EXPECT_EQ(info->eps_per_query, 0.25);
+  }
+
+  LoadGenOptions lopts;
+  lopts.n = 16;
+  lopts.num_clients = 6;
+  lopts.queries_per_client = 8;  // budget admits 6, rejects 2
+  lopts.batch_size = 4;
+  lopts.query_seed = 17;
+  Result<Transcript> via_socket = service::RunLoad(
+      lopts, [port](uint64_t) -> std::unique_ptr<service::QueryTransport> {
+        Result<std::unique_ptr<service::SocketTransport>> conn =
+            service::SocketTransport::Connect(port);
+        if (!conn.ok()) return nullptr;
+        return std::move(conn).value();
+      });
+  ASSERT_TRUE(via_socket.ok()) << via_socket.status().ToString();
+
+  server.RequestShutdown();
+  accept_group.Wait();
+
+  QueryService inproc_svc(secret, opts);
+  Result<Transcript> in_process = service::RunLoad(
+      lopts,
+      [&inproc_svc](uint64_t) -> std::unique_ptr<service::QueryTransport> {
+        return std::make_unique<InProcessTransport>(&inproc_svc);
+      });
+  ASSERT_TRUE(in_process.ok()) << in_process.status().ToString();
+
+  ASSERT_EQ(via_socket->entries.size(), in_process->entries.size());
+  for (size_t i = 0; i < in_process->entries.size(); ++i) {
+    ASSERT_EQ(via_socket->entries[i].answered,
+              in_process->entries[i].answered);
+    if (in_process->entries[i].answered) {
+      EXPECT_EQ(via_socket->entries[i].answer, in_process->entries[i].answer)
+          << "entry " << i;  // %.17g wire format must not lose bits
+    } else {
+      EXPECT_EQ(via_socket->entries[i].error, in_process->entries[i].error);
+    }
+  }
+  EXPECT_GT(via_socket->rejected(), 0u);
+}
+
+}  // namespace
+}  // namespace pso

@@ -33,19 +33,31 @@ Baselines store only the stable fields (bench, experiment, filtered
 counters), so their git diffs show exactly the deterministic change and
 nothing else.
 
-Exit codes: 0 all benches clean, 1 counter drift / failed shape checks,
-2 usage error (no reports found), 3 one or more baselines missing
-entirely (a new bench whose baseline was never committed — run with
---update, not a regression).
+`--self-test` proves the gate's exit-code contract end to end against
+synthetic reports in a temp directory (registered as the ctest
+`bench_diff_selftest` under the lint label).
 """
 
 import argparse
 import json
 import os
 import sys
+import tempfile
 
 DEFAULT_SKIP_PREFIXES = ["parallel.", "pool.", "watchdog."]
 SCHEMA_VERSION = 3
+
+EXIT_CODES_HELP = """\
+exit codes:
+  0  every bench clean: counters and histogram event counts match the
+     committed baselines (or --update / --self-test succeeded)
+  1  regression: counter drift, histogram event-count drift, or failed
+     shape checks in a report
+  2  usage error: no BENCH_*.json reports found in --current-dir
+  3  baseline missing: a report has no committed baseline — a setup
+     problem for a NEW bench, not a regression; run with --update and
+     commit bench/baselines/
+"""
 
 
 def load_report(path):
@@ -114,9 +126,71 @@ def diff_counters(baseline, current, notes, allow_new=False):
     return lines
 
 
-def main():
+def _synthetic_report(counters, histogram_counts_by_name):
+    """A minimal schema-3 report with the given deterministic section."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "bench_selftest",
+        "experiment": "SELFTEST",
+        "wall_clock_seconds": 0.01,
+        "checks_failed": 0,
+        "metrics": {
+            "counters": counters,
+            "histograms": {
+                name: {"count": count}
+                for name, count in histogram_counts_by_name.items()
+            },
+        },
+    }
+
+
+def self_test():
+    """Drives main() through every documented exit code on synthetic data."""
+    failures = []
+
+    def expect(want, argv, scenario):
+        got = main(argv)
+        ok = got == want
+        print(f"[{'PASS' if ok else 'FAIL'}] {scenario}: exit {got} "
+              f"(want {want})")
+        if not ok:
+            failures.append(scenario)
+
+    def write_report(directory, counters, hists):
+        path = os.path.join(directory, "BENCH_bench_selftest.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(_synthetic_report(counters, hists), f)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        current = os.path.join(tmp, "current")
+        baselines = os.path.join(tmp, "baselines")
+        os.makedirs(current)
+        write_report(current, {"svc.queries": 640}, {"svc.answer": 640})
+
+        common = ["--current-dir", current, "--baseline-dir", baselines]
+        expect(3, common, "missing baseline")
+        expect(0, common + ["--update"], "baseline refresh")
+        expect(0, common, "matching baseline")
+
+        write_report(current, {"svc.queries": 641}, {"svc.answer": 640})
+        expect(1, common, "counter drift")
+        write_report(current, {"svc.queries": 640}, {"svc.answer": 639})
+        expect(1, common, "histogram event-count drift")
+
+        empty = os.path.join(tmp, "empty")
+        os.makedirs(empty)
+        expect(2, ["--current-dir", empty, "--baseline-dir", baselines],
+               "no reports")
+
+    print(f"\nself-test: {6 - len(failures)}/6 scenarios passed")
+    return 0 if not failures else 1
+
+
+def main(argv=None):
     parser = argparse.ArgumentParser(
-        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+        description=__doc__,
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--current-dir",
@@ -149,7 +223,16 @@ def main():
         "a new solver backend's counters, a newly wired latency histogram "
         "— before the baseline refresh lands)",
     )
-    args = parser.parse_args()
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the exit-code contract (0/1/2/3) against synthetic "
+        "reports in a temp directory, then exit 0 iff every scenario "
+        "produced its documented code",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
 
     skip_prefixes = (
         args.skip_prefix if args.skip_prefix is not None else DEFAULT_SKIP_PREFIXES

@@ -12,6 +12,28 @@
 //                  [--decoder {lp,lsq,exhaustive}] [--seed 1]
 //   psoctl audit   [--eps 1.0] [--trials 300000] [--seed 1]
 //   psoctl membership [--attrs 300] [--pool 50] [--eps 0] [--trials 200]
+//   psoctl serve   [--n 48] [--eps 0] [--budget 0] [--port 0]
+//                  [--port-file FILE] [--max-batch 64] [--seed 1]
+//   psoctl load    {--port P | --port-file FILE} [--clients 64]
+//                  [--queries 10] [--batch 8] [--decoder {lp,lsq,none}]
+//                  [--transcript FILE] [--min-accuracy A]
+//                  [--max-accuracy A] [--expect-rejections] [--seed 1]
+//
+// `serve` runs a statistical-query service over a random secret dataset
+// drawn from --seed: counting queries on 127.0.0.1 (--port 0 picks an
+// ephemeral port, published via --port-file). With --eps > 0 every
+// answer carries Laplace(1/eps) noise and charges the issuing client's
+// budget (--budget, 0 = unmetered); an over-budget client is refused.
+// SIGTERM/SIGINT shut it down cleanly (in-flight connections drain).
+//
+// `load` attacks a running `serve`: --clients concurrent clients each
+// issue --queries random subset queries (pipelined in batches of
+// --batch), the (query, answer) transcript is recorded, and the chosen
+// decoder reconstructs the secret FROM THE TRANSCRIPT ALONE. Accuracy is
+// scored by regenerating the secret from the shared --seed. The
+// --min-accuracy / --max-accuracy / --expect-rejections gates turn the
+// run into an assertion (exit 1 on violation): exact serving must
+// reconstruct perfectly, DP serving must degrade and reject.
 //
 // Every subcommand also accepts --threads N (default: hardware
 // concurrency; 1 = serial). Every run is deterministic given --seed at
@@ -46,10 +68,14 @@
 // Unknown or malformed flags are rejected: each subcommand declares the
 // flags it accepts, and anything else prints usage and exits non-zero.
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
-#include <cmath>
+#include <utility>
 
 #include "census/reidentify.h"
 #include "census/sat_reconstruct.h"
@@ -71,6 +97,10 @@
 #include "pso/game.h"
 #include "pso/mechanisms.h"
 #include "recon/attacks.h"
+#include "service/client.h"
+#include "service/loadgen.h"
+#include "service/query_service.h"
+#include "service/server.h"
 #include "solver/lp_backend.h"
 #include "solver/sat_backend.h"
 #include "tools/flags.h"
@@ -87,9 +117,9 @@ std::unique_ptr<ThreadPool> MakePool(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: psoctl {game|census|linkage|recon|audit|membership} "
-      "[--flags]\n  (see the header of tools/psoctl.cc for the full flag "
-      "list)\n");
+      "usage: psoctl {game|census|linkage|recon|audit|membership|serve|"
+      "load} [--flags]\n  (see the header of tools/psoctl.cc for the full "
+      "flag list)\n");
   return 2;
 }
 
@@ -141,6 +171,24 @@ std::vector<FlagSpec> CommandFlags(const std::string& command) {
              {"pool", FlagSpec::Type::kInt},
              {"eps", FlagSpec::Type::kDouble},
              {"trials", FlagSpec::Type::kInt}};
+  } else if (command == "serve") {
+    specs = {{"n", FlagSpec::Type::kInt},
+             {"eps", FlagSpec::Type::kDouble},
+             {"budget", FlagSpec::Type::kDouble},
+             {"port", FlagSpec::Type::kInt},
+             {"port-file", FlagSpec::Type::kString},
+             {"max-batch", FlagSpec::Type::kInt}};
+  } else if (command == "load") {
+    specs = {{"port", FlagSpec::Type::kInt},
+             {"port-file", FlagSpec::Type::kString},
+             {"clients", FlagSpec::Type::kInt},
+             {"queries", FlagSpec::Type::kInt},
+             {"batch", FlagSpec::Type::kInt},
+             {"decoder", FlagSpec::Type::kString},
+             {"transcript", FlagSpec::Type::kString},
+             {"min-accuracy", FlagSpec::Type::kDouble},
+             {"max-accuracy", FlagSpec::Type::kDouble},
+             {"expect-rejections", FlagSpec::Type::kBool}};
   } else {
     return specs;
   }
@@ -417,6 +465,196 @@ int RunMembership(const Flags& flags) {
   return 0;
 }
 
+// The serve signal handler's target. RequestShutdown is async-signal-
+// safe (atomic store + shutdown(2)), so the handler does nothing else.
+std::atomic<service::QueryServer*> g_serve_server{nullptr};
+
+extern "C" void ServeSignalHandler(int) {
+  service::QueryServer* server =
+      g_serve_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestShutdown();
+}
+
+int RunServe(const Flags& flags) {
+  if (flags.GetInt("n", 48) < 1 || flags.GetInt("max-batch", 64) < 1 ||
+      flags.GetDouble("eps", 0.0) < 0.0 ||
+      flags.GetDouble("budget", 0.0) < 0.0) {
+    std::fprintf(stderr,
+                 "invalid flags: need --n >= 1, --max-batch >= 1, "
+                 "--eps >= 0, --budget >= 0\n");
+    return 2;
+  }
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 48));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  Rng rng(seed);
+  service::QueryServiceOptions sopts;
+  sopts.eps_per_query = flags.GetDouble("eps", 0.0);
+  sopts.client_budget_eps = flags.GetDouble("budget", 0.0);
+  sopts.noise_seed = seed;
+  sopts.max_batch = static_cast<size_t>(flags.GetInt("max-batch", 64));
+  service::QueryService svc(recon::RandomBits(n, rng), sopts);
+
+  auto pool = MakePool(flags);
+  service::QueryServerOptions ropts;
+  ropts.port = static_cast<int>(flags.GetInt("port", 0));
+  ropts.port_file = flags.GetString("port-file", "");
+  ropts.pool = pool.get();
+  service::QueryServer server(&svc, ropts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  g_serve_server.store(&server, std::memory_order_release);
+  std::signal(SIGTERM, ServeSignalHandler);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::printf("serving n=%zu eps=%.3g budget=%.3g port=%d\n", n,
+              sopts.eps_per_query, sopts.client_budget_eps, server.port());
+  std::fflush(stdout);
+  server.Run();
+  g_serve_server.store(nullptr, std::memory_order_release);
+  RecordPoolGauges(pool.get());
+  std::printf("shutdown: connections=%llu answered=%llu rejected=%llu\n",
+              static_cast<unsigned long long>(server.connections()),
+              static_cast<unsigned long long>(svc.queries_answered()),
+              static_cast<unsigned long long>(svc.queries_rejected()));
+  return 0;
+}
+
+int RunLoadCmd(const Flags& flags) {
+  int port = static_cast<int>(flags.GetInt("port", 0));
+  const std::string port_file = flags.GetString("port-file", "");
+  if (port <= 0 && !port_file.empty()) {
+    FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f == nullptr || std::fscanf(f, "%d", &port) != 1) {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "load: cannot read port from %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    std::fclose(f);
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "load: need --port or --port-file\n");
+    return 2;
+  }
+  if (flags.GetInt("clients", 64) < 1 || flags.GetInt("queries", 10) < 1 ||
+      flags.GetInt("batch", 8) < 1) {
+    std::fprintf(stderr,
+                 "invalid flags: need --clients >= 1, --queries >= 1, "
+                 "--batch >= 1\n");
+    return 2;
+  }
+  const std::string decoder = flags.GetString("decoder", "lp");
+  if (decoder != "lp" && decoder != "lsq" && decoder != "none") {
+    std::fprintf(stderr, "unknown decoder '%s' (use lp|lsq|none)\n",
+                 decoder.c_str());
+    return 2;
+  }
+
+  // Probe the service parameters on a throwaway connection; the dataset
+  // size drives query generation and secret regeneration.
+  Result<std::unique_ptr<service::SocketTransport>> probe =
+      service::SocketTransport::Connect(port);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "load: %s\n", probe.status().ToString().c_str());
+    return 1;
+  }
+  Result<service::ServiceInfo> info = (*probe)->Info();
+  if (!info.ok()) {
+    std::fprintf(stderr, "load: INFO probe: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  probe->reset();  // don't hold an idle connection for the whole run
+
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  auto pool = MakePool(flags);
+  service::LoadGenOptions lopts;
+  lopts.n = info->n;
+  lopts.num_clients = static_cast<size_t>(flags.GetInt("clients", 64));
+  lopts.queries_per_client = static_cast<size_t>(flags.GetInt("queries", 10));
+  lopts.batch_size = std::min(static_cast<size_t>(flags.GetInt("batch", 8)),
+                              info->max_batch);
+  lopts.query_seed = seed;
+  lopts.pool = pool.get();
+  metrics::Timer& load_timer = metrics::GetTimer("loadgen.run");
+  Result<service::Transcript> transcript = [&] {
+    metrics::ScopedSpan t(load_timer);
+    return service::RunLoad(
+        lopts, [port](uint64_t) -> std::unique_ptr<service::QueryTransport> {
+          Result<std::unique_ptr<service::SocketTransport>> conn =
+              service::SocketTransport::Connect(port);
+          if (!conn.ok()) return nullptr;
+          return std::move(conn).value();
+        });
+  }();
+  RecordPoolGauges(pool.get());
+  if (!transcript.ok()) {
+    std::fprintf(stderr, "load: %s\n", transcript.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string transcript_path = flags.GetString("transcript", "");
+  if (!transcript_path.empty()) {
+    Status wrote = service::WriteTranscript(*transcript, transcript_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "load: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+  }
+
+  double accuracy = -1.0;
+  if (decoder != "none") {
+    Result<recon::Reconstruction> rec = service::DecodeTranscript(
+        *transcript, decoder == "lp" ? service::Decoder::kLp
+                                     : service::Decoder::kLeastSquares);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "load: decode: %s\n",
+                   rec.status().ToString().c_str());
+      return 1;
+    }
+    // The experiment harness may score: the attacker itself never sees
+    // the secret, only the transcript it decoded above.
+    Rng srng(seed);
+    const std::vector<uint8_t> secret = recon::RandomBits(info->n, srng);
+    accuracy = recon::FractionAgree(rec->estimate, secret);
+  }
+
+  std::printf(
+      "load: n=%zu clients=%zu queries=%llu answered=%llu rejected=%llu "
+      "decoder=%s accuracy=%s\n",
+      lopts.n, lopts.num_clients,
+      static_cast<unsigned long long>(transcript->entries.size()),
+      static_cast<unsigned long long>(transcript->answered()),
+      static_cast<unsigned long long>(transcript->rejected()),
+      decoder.c_str(),
+      accuracy < 0.0 ? "n/a" : StrFormat("%.4f", accuracy).c_str());
+
+  // Assertion gates for CI: violations exit non-zero with a diagnosis.
+  const double min_accuracy = flags.GetDouble("min-accuracy", -1.0);
+  if (min_accuracy >= 0.0 && accuracy < min_accuracy) {
+    std::fprintf(stderr, "load: accuracy %.4f below --min-accuracy %.4f\n",
+                 accuracy, min_accuracy);
+    return 1;
+  }
+  const double max_accuracy = flags.GetDouble("max-accuracy", 2.0);
+  if (accuracy > max_accuracy) {
+    std::fprintf(stderr,
+                 "load: accuracy %.4f above --max-accuracy %.4f (DP "
+                 "degradation did not materialize)\n",
+                 accuracy, max_accuracy);
+    return 1;
+  }
+  if (flags.GetBool("expect-rejections", false) &&
+      transcript->rejected() == 0) {
+    std::fprintf(stderr,
+                 "load: --expect-rejections but no query was refused\n");
+    return 1;
+  }
+  return 0;
+}
+
 int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "game") return RunGame(flags);
   if (command == "census") return RunCensus(flags);
@@ -424,6 +662,8 @@ int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "recon") return RunRecon(flags);
   if (command == "audit") return RunAudit(flags);
   if (command == "membership") return RunMembership(flags);
+  if (command == "serve") return RunServe(flags);
+  if (command == "load") return RunLoadCmd(flags);
   return Usage();
 }
 
