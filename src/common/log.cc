@@ -109,7 +109,7 @@ class SinkCore {
     std::string line;
   };
 
-  Mutex mu_;
+  Mutex mu_ PSO_LOCK_ORDER(kLog){LockRank::kLog, "log.sink"};
   std::FILE* file_ PSO_GUARDED_BY(mu_) = nullptr;  // null => stderr
   bool owns_file_ PSO_GUARDED_BY(mu_) = false;
   bool capture_ PSO_GUARDED_BY(mu_) = false;

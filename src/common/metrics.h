@@ -241,7 +241,8 @@ class Registry {
   void ResetAll() PSO_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_ PSO_LOCK_ORDER(kMetrics){LockRank::kMetrics,
+                                             "metrics.registry"};
   // unique_ptr gives handles stable addresses across map rehash/insert.
   // The maps are guarded; the Counter/Timer objects they point to are
   // internally atomic and deliberately updated lock-free.

@@ -1,0 +1,202 @@
+// Runtime lock-order verifier behind -DPSO_DEADLOCK_CHECK=ON
+// (common/mutex.h). Two complementary checks run on every acquisition:
+//
+//  1. Rank check (per-thread): a blocking Lock() of a ranked mutex must
+//     take a rank strictly below every ranked mutex the thread already
+//     holds. This catches an inversion on its first occurrence, in one
+//     thread, before the lock is even contended.
+//  2. Pair-graph check (global): every (held, acquired) name pair ever
+//     observed — including try-acquisitions, which skip the rank check —
+//     is an edge in a directed graph; a cycle means two code paths
+//     disagree about the order and could deadlock under the right
+//     interleaving, even if neither run ever blocked.
+//
+// Violations abort via PSO_CHECK machinery with a witness chain: the
+// offending acquisition site, the cycle path (if any), and the file:line
+// of every lock the thread holds.
+
+#include "common/mutex.h"
+
+#if PSO_DEADLOCK_CHECK
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace pso::deadlock {
+
+namespace {
+
+struct HeldLock {
+  const Mutex* mu;
+  LockRank rank;
+  const char* name;  // nullptr for unranked scratch locks
+  const char* file;
+  int line;
+};
+
+struct ThreadState {
+  std::vector<HeldLock> held;
+  // Set (permanently) once this thread is reporting a violation:
+  // CheckFailed flushes the log and trace sinks, which acquire ranked
+  // locks of their own, and those acquisitions must not re-enter the
+  // verifier.
+  bool reporting = false;
+};
+
+ThreadState& State() {
+  thread_local ThreadState state;
+  return state;
+}
+
+const char* NameOrPlaceholder(const char* name) {
+  return name != nullptr ? name : "<unranked>";
+}
+
+struct EdgeSite {
+  const char* file;
+  int line;
+};
+
+// held-name -> acquired-name -> site of the first observed acquisition.
+// Keyed by name, not address: instances come and go (stack-local state,
+// per-request groups) but the code paths that order them do not.
+using PairGraph = std::map<std::string, std::map<std::string, EdgeSite>>;
+
+// Raw std::mutex (never a pso::Mutex: the verifier must not verify
+// itself); leaked so lock releases during process exit stay safe.
+std::mutex& GraphMu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+PairGraph& Graph() {
+  static PairGraph* graph = new PairGraph;
+  return *graph;
+}
+
+// Depth-first search for a path `from` -> ... -> `to`; on success fills
+// `path` with the names visited, `from` first.
+bool FindPath(const PairGraph& graph, const std::string& from,
+              const std::string& to, std::set<std::string>& visited,
+              std::vector<std::string>& path) {
+  path.push_back(from);
+  if (from == to) return true;
+  if (visited.insert(from).second) {
+    auto it = graph.find(from);
+    if (it != graph.end()) {
+      for (const auto& edge : it->second) {
+        if (FindPath(graph, edge.first, to, visited, path)) return true;
+      }
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+std::string DescribeHeld(const ThreadState& state) {
+  std::string out;
+  for (size_t i = 0; i < state.held.size(); ++i) {
+    const HeldLock& h = state.held[i];
+    out += StrFormat("\n  held[%zu]: '%s' (rank %s) acquired at %s:%d",
+                     i, NameOrPlaceholder(h.name), LockRankName(h.rank),
+                     h.file, h.line);
+  }
+  return out;
+}
+
+[[noreturn]] void Die(const char* file, int line, std::string msg) {
+  State().reporting = true;
+  internal::CheckFailed(file, line, "lock-order verifier", msg.c_str());
+}
+
+}  // namespace
+
+void OnAcquire(const Mutex& mu, bool blocking, const char* file, int line) {
+  ThreadState& state = State();
+  if (state.reporting) return;
+
+  for (const HeldLock& h : state.held) {
+    if (h.mu == &mu) {
+      Die(file, line,
+          StrFormat("recursive acquisition: '%s' is already held by this "
+                    "thread (acquired at %s:%d)",
+                    NameOrPlaceholder(mu.name()), h.file, h.line) +
+              DescribeHeld(state));
+    }
+  }
+
+  if (blocking && mu.rank() != LockRank::kUnranked) {
+    const HeldLock* innermost = nullptr;
+    for (const HeldLock& h : state.held) {
+      if (h.rank == LockRank::kUnranked) continue;
+      if (innermost == nullptr || h.rank < innermost->rank) innermost = &h;
+    }
+    if (innermost != nullptr && mu.rank() >= innermost->rank) {
+      Die(file, line,
+          StrFormat("lock-rank inversion: acquiring '%s' (rank %s) while "
+                    "holding '%s' (rank %s); acquisition order must be "
+                    "strictly decreasing rank",
+                    NameOrPlaceholder(mu.name()), LockRankName(mu.rank()),
+                    NameOrPlaceholder(innermost->name),
+                    LockRankName(innermost->rank)) +
+              DescribeHeld(state));
+    }
+  }
+
+  if (mu.name() != nullptr) {
+    std::lock_guard<std::mutex> graph_lock(GraphMu());
+    PairGraph& graph = Graph();
+    for (const HeldLock& h : state.held) {
+      if (h.name == nullptr) continue;
+      auto& successors = graph[h.name];
+      if (successors.find(mu.name()) != successors.end()) continue;
+      // Inserting h.name -> mu.name closes a cycle iff mu.name already
+      // reaches h.name; report before poisoning the graph.
+      std::set<std::string> visited;
+      std::vector<std::string> path;
+      if (FindPath(graph, mu.name(), h.name, visited, path)) {
+        std::string msg = StrFormat(
+            "lock-order cycle: acquiring '%s' while holding '%s' "
+            "contradicts the previously observed order",
+            mu.name(), h.name);
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          const EdgeSite& site = graph[path[i]][path[i + 1]];
+          msg += StrFormat("\n  observed: '%s' then '%s' (at %s:%d)",
+                           path[i].c_str(), path[i + 1].c_str(), site.file,
+                           site.line);
+        }
+        msg += StrFormat("\n  now: '%s' then '%s' (at %s:%d)", h.name,
+                         mu.name(), file, line);
+        Die(file, line, msg + DescribeHeld(state));
+      }
+      successors.emplace(mu.name(), EdgeSite{file, line});
+    }
+  }
+
+  state.held.push_back(HeldLock{&mu, mu.rank(), mu.name(), file, line});
+}
+
+void OnRelease(const Mutex& mu) {
+  ThreadState& state = State();
+  if (state.reporting) return;
+  for (auto it = state.held.rbegin(); it != state.held.rend(); ++it) {
+    if (it->mu == &mu) {
+      state.held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not found: the lock was acquired before this thread started
+  // reporting a violation, or handed across threads — ignore.
+}
+
+int HeldCount() { return static_cast<int>(State().held.size()); }
+
+}  // namespace pso::deadlock
+
+#endif  // PSO_DEADLOCK_CHECK

@@ -40,7 +40,8 @@ struct ForState {
   std::vector<uint64_t> log_region_key;
 
   std::atomic<size_t> next_chunk{0};
-  Mutex mu;
+  Mutex mu PSO_LOCK_ORDER(kParallel){LockRank::kParallel,
+                                     "parallel.for_state"};
   CondVar done_cv;
   size_t done_chunks PSO_GUARDED_BY(mu) = 0;
   std::exception_ptr error PSO_GUARDED_BY(mu);

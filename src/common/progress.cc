@@ -91,13 +91,17 @@ void Watchdog::Start(int64_t interval_ms) {
     Stop();
     return;
   }
-  MutexLock lock(mu_);
-  if (running_) return;
-  running_ = true;
-  stop_requested_ = false;
-  stalls_.store(0, std::memory_order_relaxed);
-  progress_marks_.store(0, std::memory_order_relaxed);
-  thread_ = std::thread([this, interval_ms] { Run(interval_ms); });
+  {
+    MutexLock lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    stalls_.store(0, std::memory_order_relaxed);
+    progress_marks_.store(0, std::memory_order_relaxed);
+    thread_ = std::thread([this, interval_ms] { Run(interval_ms); });
+  }
+  // Log after release (like Stop): the sink serializes on its own lock,
+  // and mu_ protects thread state, not the announcement.
   PSO_LOG(INFO).Field("interval_ms", interval_ms) << "solver watchdog armed";
 }
 

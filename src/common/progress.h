@@ -123,7 +123,8 @@ class Watchdog {
   std::atomic<uint64_t> active_solves_{0};
   std::atomic<uint64_t> stalls_{0};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ PSO_LOCK_ORDER(kProgress){LockRank::kProgress,
+                                              "progress.watchdog"};
   CondVar cv_;
   bool running_ PSO_GUARDED_BY(mu_) = false;
   bool stop_requested_ PSO_GUARDED_BY(mu_) = false;

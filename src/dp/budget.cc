@@ -21,18 +21,25 @@ Result<uint64_t> BudgetLedger::Charge(uint64_t client, double eps) {
     return Status::InvalidArgument(
         StrFormat("negative epsilon charge %.6f", eps));
   }
-  MutexLock lock(mu_);
-  BudgetClientState& state = clients_[client];
-  if (budget_eps_ > 0.0 &&
-      state.spent_eps + eps > budget_eps_ + kBudgetSlack) {
+  double spent = 0.0;
+  {
+    MutexLock lock(mu_);
+    BudgetClientState& state = clients_[client];
+    if (budget_eps_ <= 0.0 ||
+        state.spent_eps + eps <= budget_eps_ + kBudgetSlack) {
+      state.spent_eps += eps;
+      return state.answered++;
+    }
     ++state.rejected;
-    return Status::ResourceExhausted(StrFormat(
-        "client %llu over budget: spent %.6f + query %.6f > cap %.6f",
-        static_cast<unsigned long long>(client), state.spent_eps, eps,
-        budget_eps_));
+    spent = state.spent_eps;
   }
-  state.spent_eps += eps;
-  return state.answered++;
+  // Format the rejection off the ledger lock: StrFormat allocates, and a
+  // burst of over-budget clients must not serialize the admission path
+  // behind message rendering (dp.budget_ledger outranks every
+  // observability lock — see common/lock_rank.h).
+  return Status::ResourceExhausted(StrFormat(
+      "client %llu over budget: spent %.6f + query %.6f > cap %.6f",
+      static_cast<unsigned long long>(client), spent, eps, budget_eps_));
 }
 
 BudgetClientState BudgetLedger::ClientState(uint64_t client) const {
@@ -63,6 +70,7 @@ uint64_t BudgetLedger::TotalRejected() const {
 std::vector<uint64_t> BudgetLedger::RejectedClients() const {
   MutexLock lock(mu_);
   std::vector<uint64_t> out;
+  out.reserve(clients_.size());
   for (const auto& [id, state] : clients_) {
     if (state.rejected > 0) out.push_back(id);
   }

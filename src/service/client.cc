@@ -13,7 +13,6 @@
 #endif
 
 #include <cerrno>
-#include <cstring>
 #include <utility>
 
 #include "common/str_util.h"
@@ -25,7 +24,8 @@ namespace pso::service {
 Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+    return Status::Internal(
+        StrFormat("socket: %s", ErrnoMessage(errno).c_str()));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -36,7 +36,7 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(int port) {
     const int err = errno;
     ::close(fd);
     return Status::Internal(
-        StrFormat("connect 127.0.0.1:%d: %s", port, std::strerror(err)));
+        StrFormat("connect 127.0.0.1:%d: %s", port, ErrnoMessage(err).c_str()));
   }
   return std::unique_ptr<SocketTransport>(new SocketTransport(fd));
 }
@@ -52,7 +52,8 @@ Status SocketTransport::WriteAll(const std::string& data) {
         ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal(StrFormat("send: %s", std::strerror(errno)));
+      return Status::Internal(
+          StrFormat("send: %s", ErrnoMessage(errno).c_str()));
     }
     off += static_cast<size_t>(sent);
   }
@@ -71,7 +72,8 @@ Result<std::string> SocketTransport::ReadLine() {
     const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
     if (got < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal(StrFormat("read: %s", std::strerror(errno)));
+      return Status::Internal(
+          StrFormat("read: %s", ErrnoMessage(errno).c_str()));
     }
     if (got == 0) {
       return Status::Internal("connection closed by server mid-response");

@@ -15,7 +15,6 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -63,7 +62,8 @@ bool SendAll(int fd, const std::string& data) {
 Status QueryServer::Start() {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+    return Status::Internal(
+        StrFormat("socket: %s", ErrnoMessage(errno).c_str()));
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -74,18 +74,19 @@ Status QueryServer::Start() {
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
     const int err = errno;
     ::close(fd);
-    return Status::Internal(StrFormat("bind: %s", std::strerror(err)));
+    return Status::Internal(StrFormat("bind: %s", ErrnoMessage(err).c_str()));
   }
   if (::listen(fd, 128) < 0) {
     const int err = errno;
     ::close(fd);
-    return Status::Internal(StrFormat("listen: %s", std::strerror(err)));
+    return Status::Internal(StrFormat("listen: %s", ErrnoMessage(err).c_str()));
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
     const int err = errno;
     ::close(fd);
-    return Status::Internal(StrFormat("getsockname: %s", std::strerror(err)));
+    return Status::Internal(
+        StrFormat("getsockname: %s", ErrnoMessage(err).c_str()));
   }
   port_ = static_cast<int>(ntohs(addr.sin_port));
   listen_fd_.store(fd, std::memory_order_release);
@@ -94,14 +95,14 @@ Status QueryServer::Start() {
     FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) {
       return Status::Internal(
-          StrFormat("open %s: %s", tmp.c_str(), std::strerror(errno)));
+          StrFormat("open %s: %s", tmp.c_str(), ErrnoMessage(errno).c_str()));
     }
     std::fprintf(f, "%d\n", port_);
     std::fclose(f);
     if (std::rename(tmp.c_str(), options_.port_file.c_str()) != 0) {
       return Status::Internal(StrFormat("rename %s: %s",
                                         options_.port_file.c_str(),
-                                        std::strerror(errno)));
+                                        ErrnoMessage(errno).c_str()));
     }
   }
   PSO_LOG(INFO).Field("port", port_) << "query service listening";
@@ -211,6 +212,9 @@ void QueryServer::HandleConnection(int fd) {
         batch.push_back(std::move(follow->query));
         ++j;
       }
+      // Lock audit (see common/lock_rank.h): the handler holds no mutex
+      // here, so AnswerBatch starts the ranked chain itself — budget
+      // ledger, then metrics/trace/log — from the top.
       const std::vector<QueryOutcome> outcomes =
           service_->AnswerBatch(client, batch);
       for (const QueryOutcome& outcome : outcomes) {

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <system_error>
 
 #include "common/str_util.h"
 
@@ -145,6 +146,13 @@ Result<ServiceInfo> ParseInfoLine(const std::string& line) {
   info.n = static_cast<size_t>(n);
   info.max_batch = static_cast<size_t>(batch);
   return info;
+}
+
+std::string ErrnoMessage(int err) {
+  // std::strerror writes into a static buffer, which races when several
+  // transport threads report socket errors at once; error_category
+  // returns an owned string from a thread-safe lookup.
+  return std::generic_category().message(err);
 }
 
 }  // namespace pso::service

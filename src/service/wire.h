@@ -64,6 +64,11 @@ std::string FormatAnswerLine(uint64_t client, const Result<double>& outcome);
 /// Formats the `I` response to an INFO probe (no trailing newline).
 std::string FormatInfoLine(const ServiceInfo& info);
 
+/// The strerror-style message for `err` as an owned string. Unlike
+/// std::strerror (static buffer, flagged by concurrency-mt-unsafe) this
+/// is safe from concurrent transport threads.
+std::string ErrnoMessage(int err);
+
 /// Parses an `I` line.
 [[nodiscard]] Result<ServiceInfo> ParseInfoLine(const std::string& line);
 

@@ -17,7 +17,10 @@ struct RegistryEntry {
 };
 
 Mutex& RegistryMu() {
-  static Mutex mu;
+  // Process-configuration lock: acquired alone, at registration or
+  // backend-selection time, never under a workload lock => top rank.
+  static Mutex mu PSO_LOCK_ORDER(kService){LockRank::kService,
+                                           "solver.lp_backends"};
   return mu;
 }
 
@@ -75,6 +78,7 @@ Result<std::unique_ptr<LpBackend>> MakeLpBackend(const std::string& name) {
 std::vector<std::string> LpBackendNames() {
   MutexLock lock(RegistryMu());
   std::vector<std::string> names;
+  names.reserve(Entries().size());
   for (const RegistryEntry& e : Entries()) {
     bool shadowed = false;
     for (const std::string& seen : names) {

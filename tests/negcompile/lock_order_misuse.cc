@@ -1,0 +1,55 @@
+// Negative-compile proof that the lock-ORDER gate works: this file
+// acquires two mutexes against their declared acquired_after order, so
+// `clang -Wthread-safety -Wthread-safety-beta -Werror` MUST refuse to
+// compile it (acquired_before/acquired_after checking lives behind the
+// beta flag). tools/negcompile_test.py drives both directions:
+//
+//   plain compile                       -> must FAIL with a
+//                                          -Wthread-safety diagnostic
+//   -DPSO_NEGCOMPILE_FIXED              -> must SUCCEED (control: the
+//                                          same two locks taken in the
+//                                          declared order are fine)
+//
+// Under GCC the annotations are no-ops and the test self-skips.
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+// Direct edge: inner_mu must only ever be acquired after outer_mu.
+pso::Mutex outer_mu;
+pso::Mutex inner_mu PSO_ACQUIRED_AFTER(outer_mu);
+
+void Nested() {
+#ifdef PSO_NEGCOMPILE_FIXED
+  pso::MutexLock outer(outer_mu);
+  pso::MutexLock inner(inner_mu);
+#else
+  pso::MutexLock inner(inner_mu);
+  pso::MutexLock outer(outer_mu);  // inversion: the gate must reject this
+#endif
+}
+
+// Rank-table edge: two PSO_LOCK_ORDER mutexes acquired in the correct
+// (descending-rank) order in both directions. Compiles either way —
+// present so the gate also parses the boundary-sentinel chain that the
+// whole tree uses, not just a bare two-mutex edge.
+pso::Mutex budget_mu PSO_LOCK_ORDER(kBudget){pso::LockRank::kBudget,
+                                             "negcompile.budget"};
+pso::Mutex metrics_mu PSO_LOCK_ORDER(kMetrics){pso::LockRank::kMetrics,
+                                               "negcompile.metrics"};
+
+void RankedNested() {
+  pso::MutexLock budget(budget_mu);
+  pso::MutexLock metrics(metrics_mu);
+}
+
+}  // namespace
+
+int main() {
+  Nested();
+  RankedNested();
+  return 0;
+}

@@ -35,6 +35,20 @@ rules:
                         always on and flushes logs/traces before abort.
   nodiscard-status      Header declaration returning Status or Result<T>
                         by value without [[nodiscard]].
+  mutex-rank            pso::Mutex declaration in src/ that does not name
+                        a LockRank (common/lock_rank.h). Every long-lived
+                        mutex must state its place in the global
+                        acquisition order so the static/runtime deadlock
+                        checks can see it.
+  blocking-under-lock   Wait/WaitFor/Submit/recv/accept token inside a
+                        MutexLock scope outside src/common/. Blocking (or
+                        queueing onto a pool) while holding a lock is how
+                        lock-order cycles start; shrink the critical
+                        section instead.
+  sleep                 sleep_for/usleep-style polling in src/ outside
+                        src/common/. Sleep loops hide latency and races;
+                        wait on a pso::CondVar (WaitFor for periodic
+                        work) so shutdown can interrupt the wait.
 
 Suppress a finding by appending a comment on the offending line:
 
@@ -169,6 +183,20 @@ def scope_assert(rel):
 
 def scope_nodiscard_status(rel):
     return rel.endswith((".h", ".hpp")) and _under(rel, "src", "tools")
+
+
+def scope_mutex_rank(rel):
+    return _under(rel, "src")
+
+
+def scope_blocking_under_lock(rel):
+    # src/common/ implements the primitives (CondVar waits legitimately
+    # run under the lock they release).
+    return _under(rel, "src") and not _under(rel, "src/common")
+
+
+def scope_sleep(rel):
+    return _under(rel, "src") and not _under(rel, "src/common")
 
 
 # ---------------------------------------------------------------------------
@@ -337,6 +365,86 @@ def check_nodiscard_status(lines, text, _rel):
     return out
 
 
+MUTEX_DECL_RE = re.compile(r"(?<![\w:])((?:\w+\s*::\s*)*)Mutex\s+(\w+)")
+
+
+def check_mutex_rank(lines, text, _rel):
+    out = []
+    for m in MUTEX_DECL_RE.finditer(text):
+        qualifier = (m.group(1) or "").replace(" ", "")
+        if qualifier not in ("", "pso::"):
+            continue  # some other namespace's Mutex
+        name = m.group(2)
+        line_no = text.count("\n", 0, m.start()) + 1
+        end = text.find(";", m.start())
+        decl = text[m.start():end] if end != -1 else text[m.start():]
+        if "LockRank::kUnranked" in decl:
+            out.append((line_no, f"mutex `{name}` is declared kUnranked; "
+                                 "long-lived mutexes in src/ must name a "
+                                 "real rank (common/lock_rank.h)"))
+        elif "LockRank::" not in decl:
+            out.append((line_no, f"mutex `{name}` does not name a LockRank; "
+                                 "construct it with {LockRank::k..., \"...\"} "
+                                 "and attach PSO_LOCK_ORDER so the deadlock "
+                                 "checks can order it (common/lock_rank.h)"))
+    return out
+
+
+MUTEXLOCK_STMT_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]")
+BLOCKING_CALL_RE = re.compile(r"\b(WaitFor|Wait|Submit|recv|accept)\s*\(")
+
+
+def check_blocking_under_lock(lines, text, _rel):
+    out = []
+    seen = set()
+    for m in MUTEXLOCK_STMT_RE.finditer(text):
+        stmt_end = text.find(";", m.end())
+        if stmt_end == -1:
+            continue
+        # The lock is held from the end of the MutexLock statement to the
+        # close of the enclosing block.
+        depth = 0
+        pos = stmt_end
+        while pos < len(text):
+            c = text[pos]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth < 0:
+                    break
+            pos += 1
+        region = text[stmt_end:pos]
+        for call in BLOCKING_CALL_RE.finditer(region):
+            line_no = text.count("\n", 0, stmt_end + call.start()) + 1
+            if line_no in seen:
+                continue  # nested MutexLock scopes report once
+            seen.add(line_no)
+            out.append((line_no, f"`{call.group(1)}` called inside a "
+                                 "MutexLock scope; blocking or queueing "
+                                 "while holding a lock invites lock-order "
+                                 "cycles — shrink the critical section"))
+    return out
+
+
+SLEEP_RE = re.compile(
+    r"\b(sleep_for|sleep_until|usleep|nanosleep)\b"
+    r"|(?<![\w.])sleep\s*\("
+)
+
+
+def check_sleep(lines, _text, _rel):
+    out = []
+    for no, line in enumerate(lines, 1):
+        m = SLEEP_RE.search(line)
+        if m:
+            what = m.group(1) or "sleep"
+            out.append((no, f"`{what}` polling in library code; wait on a "
+                            "pso::CondVar (WaitFor for periodic work) so "
+                            "notify/shutdown can interrupt the wait"))
+    return out
+
+
 RULES = [
     ("rand", scope_rand, check_rand),
     ("wall-clock", scope_wall_clock, check_wall_clock),
@@ -345,6 +453,10 @@ RULES = [
     ("bare-mutex", scope_bare_mutex, check_bare_mutex),
     ("assert", scope_assert, check_assert),
     ("nodiscard-status", scope_nodiscard_status, check_nodiscard_status),
+    ("mutex-rank", scope_mutex_rank, check_mutex_rank),
+    ("blocking-under-lock", scope_blocking_under_lock,
+     check_blocking_under_lock),
+    ("sleep", scope_sleep, check_sleep),
 ]
 RULE_NAMES = {name for name, _, _ in RULES}
 
